@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 2: memory-request latencies (Listing 1 routine) under PRAC with
+ * NBO = 128 -- row-buffer conflicts, periodic refreshes, and PRAC
+ * back-offs as seen from userspace, including the 255-request back-off
+ * period and the §6.2 latency statistics.
+ */
+
+#include <cstdio>
+
+#include "core/leakyhammer.hh"
+
+int
+main()
+{
+    using namespace leaky;
+    core::banner("Fig. 2: PRAC-induced memory access latency");
+
+    // 560 requests capture two back-off events separated by the
+    // 2 x NBO - 1 = 255-request period (paper Fig. 2 shows 512).
+    const auto result = core::runLatencyTrace(560);
+
+    // Latency band histogram.
+    std::uint64_t bands[5] = {0, 0, 0, 0, 0};
+    for (const auto &s : result.samples)
+        bands[static_cast<int>(result.classifier.classify(s.latency))]++;
+    core::Table table({"band", "count", "mean latency (ns)"});
+    table.addRow({"row buffer conflict", std::to_string(bands[1]),
+                  core::fmt(result.mean_conflict_latency_ns, 1)});
+    table.addRow({"periodic refresh",
+                  std::to_string(bands[2] + bands[3]),
+                  core::fmt(result.mean_refresh_latency_ns, 1)});
+    table.addRow({"PRAC back-off", std::to_string(bands[4]),
+                  core::fmt(result.mean_backoff_latency_ns, 1)});
+    std::printf("%s\n", table.str().c_str());
+
+    // Back-off period in requests (paper: 255 = 2 x NBO - 1).
+    std::vector<std::size_t> backoff_positions;
+    for (std::size_t i = 0; i < result.samples.size(); ++i) {
+        if (result.classifier.classify(result.samples[i].latency) ==
+            attack::LatencyClass::kBackoff)
+            backoff_positions.push_back(i);
+    }
+    std::printf("back-off positions (request #): ");
+    for (auto p : backoff_positions)
+        std::printf("%zu ", p);
+    std::printf("\n(expected period: 2 x NBO - 1 = 255 requests)\n");
+
+    const double ratio = result.mean_backoff_latency_ns /
+                         (result.mean_refresh_latency_ns > 0
+                              ? result.mean_refresh_latency_ns
+                              : 1.0);
+    std::printf("\nback-off / refresh latency ratio: %.1fx "
+                "(paper: 1.9x)\n",
+                ratio);
+
+    // The latency series itself, as a sparkline (x = request index).
+    std::vector<double> series;
+    for (const auto &s : result.samples)
+        series.push_back(static_cast<double>(s.latency));
+    std::printf("\nlatency series (%zu requests):\n%s\n",
+                series.size(), core::sparkline(series).c_str());
+
+    // CSV for plotting.
+    core::Table csv({"request", "latency_ns"});
+    for (std::size_t i = 0; i < result.samples.size(); ++i)
+        csv.addRow({std::to_string(i),
+                    std::to_string(result.samples[i].latency / 1000)});
+    std::printf("\nCSV:\n%s", csv.csv().c_str());
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 6: RFM-based (PRFM, TRFM = 40) covert channel transmitting the
+ * 40-bit "MICRO" message; the receiver counts RFM-latency events per
+ * window and compares against Trecv. Also reports the §7.3 raw bit
+ * rate over the four 100-byte patterns (paper: 48.7 Kbps).
+ */
+
+#include <cstdio>
+
+#include "core/leakyhammer.hh"
+
+int
+main()
+{
+    using namespace leaky;
+    core::banner("Fig. 6: RFM covert channel, 40-bit \"MICRO\"");
+
+    const auto demo = core::runMessageDemo(attack::ChannelKind::kRfm);
+    core::Table table({"window", "sent", "RFMs seen", "decoded"});
+    for (std::size_t i = 0; i < demo.sent_bits.size(); ++i) {
+        table.addRow({std::to_string(i),
+                      demo.sent_bits[i] ? "1" : "0",
+                      std::to_string(demo.detections[i]),
+                      demo.received_bits[i] ? "1" : "0"});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("decoded message: \"%s\" (expected \"MICRO\")\n",
+                demo.decoded_text.c_str());
+
+    core::banner("§7.3: raw bit rate over four message patterns");
+    core::ChannelRunSpec spec;
+    spec.kind = attack::ChannelKind::kRfm;
+    spec.message_bytes = core::fullScale() ? 100 : 25;
+    const auto sweep = core::runPatternSweep(spec);
+    std::printf("raw bit rate:  %s (paper: 48.7 Kbps)\n",
+                core::fmtKbps(sweep.raw_bit_rate).c_str());
+    std::printf("error prob.:   %.3f\n", sweep.error_probability);
+    std::printf("capacity:      %s\n",
+                core::fmtKbps(sweep.capacity).c_str());
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 10: accuracy of the eight classical ML models on website
+ * fingerprints (back-off traces) under PRAC at NRH=64. Paper ranking:
+ * decision tree 0.75 > random forest 0.48 > gradient boosting 0.47 >
+ * kNN 0.30 > SVM 0.11 > logistic regression 0.08 > AdaBoost 0.08 >
+ * perceptron 0.06; random-guess chance 1/40 = 0.025.
+ */
+
+#include <cstdio>
+
+#include "core/leakyhammer.hh"
+
+int
+main()
+{
+    using namespace leaky;
+    core::banner("Fig. 10: website-fingerprint classifier accuracy");
+
+    core::FingerprintSpec spec;
+    spec.sites = core::fullScale() ? 40 : 12;
+    spec.loads_per_site = core::fullScale() ? 50 : 12;
+    spec.duration = core::fullScale() ? 4 * sim::kMs : 2 * sim::kMs;
+
+    std::printf("collecting %u sites x %u loads...\n", spec.sites,
+                spec.loads_per_site);
+    const auto raw = core::collectFingerprints(spec);
+    const auto data = core::fingerprintDataset(raw);
+    std::printf("dataset: %zu samples, %zu features, %d classes "
+                "(chance = %.3f)\n\n",
+                data.size(), data.features(), data.n_classes,
+                1.0 / data.n_classes);
+
+    const auto split = ml::stratifiedSplit(data, 0.25, 77);
+    core::Table table({"model", "test accuracy"});
+    for (const auto &model : ml::makeFig10Models()) {
+        model->fit(split.train);
+        const auto cm = ml::evaluate(*model, split.test);
+        table.addRow({model->name(), core::fmt(cm.accuracy(), 3)});
+        std::printf("%-20s accuracy %.3f\n", model->name().c_str(),
+                    cm.accuracy());
+    }
+    std::printf("\n%s", table.str().c_str());
+    std::printf("\npaper reference: DT 0.75, RF 0.48, GB 0.47, "
+                "kNN 0.30, SVM 0.11, LR 0.08, Ada 0.08, Perc 0.06 "
+                "(chance 0.025)\n");
+    return 0;
+}

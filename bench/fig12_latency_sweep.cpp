@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 12: channel capacity versus preventive-action latency. A
+ * single-RFM back-off whose window is swept from 0 to 250 ns: the
+ * timing channel survives any latency above the attacker's conflict
+ * jitter (~10 ns in the paper), far below the minimum refresh-based
+ * preventive action (96 ns for blast radius 1, 192 ns for 2).
+ */
+
+#include <cstdio>
+
+#include "core/leakyhammer.hh"
+
+int
+main()
+{
+    using namespace leaky;
+    core::banner("Fig. 12: capacity vs preventive-action latency");
+
+    const std::vector<std::uint64_t> latencies_ns =
+        core::fullScale()
+            ? std::vector<std::uint64_t>{0,  2,  5,  10, 20,  40,
+                                         96, 150, 192, 250}
+            : std::vector<std::uint64_t>{0, 5, 10, 40, 96, 192, 250};
+
+    core::Table table(
+        {"latency (ns)", "error prob", "capacity (Kbps)"});
+    for (auto ns : latencies_ns) {
+        core::ChannelRunSpec spec;
+        spec.kind = attack::ChannelKind::kPrac;
+        spec.rfms_per_backoff = 1;
+        spec.backoff_rfm_latency = ns ? ns * 1000 : 1;
+        // Model the preventive action as immediately following the
+        // triggering activation (paper Fig. 12 abstraction).
+        spec.aboact_override = 1'000;
+        spec.filter_refresh = true;
+        // Detection threshold just above the conflict band: the action
+        // partially overlaps the access's own precharge, so the
+        // observed delta is sub-linear in L.
+        spec.backoff_min_override = 105'000 + ns * 150;
+        spec.message_bytes = core::fullScale() ? 50 : 16;
+        const auto result = core::runPatternSweep(spec);
+        table.addRow({std::to_string(ns),
+                      core::fmt(result.error_probability, 3),
+                      core::fmt(result.capacity / 1000.0, 1)});
+        std::printf("latency %4llu ns: error %.3f capacity %s\n",
+                    static_cast<unsigned long long>(ns),
+                    result.error_probability,
+                    core::fmtKbps(result.capacity).c_str());
+    }
+    std::printf("\n%s", table.str().c_str());
+    std::printf("\nvertical reference lines: BR=1 at 96 ns, BR=2 at "
+                "192 ns (minimum refresh-based preventive action)\n");
+    std::printf("paper reference: channel eliminated only below ~10 ns.\n"
+                "NOTE: in this simulator even a zero-latency action "
+                "leaks through its drain artifacts and bank contention "
+                "(~45 ns observable floor vs the paper's ~10 ns jitter "
+                "floor), so the left-edge elimination point is not "
+                "directly observable; the preserved conclusion is that "
+                "latencies at or above the minimum refresh-based action "
+                "(96/192 ns) never eliminate the channel.\n");
+    return 0;
+}

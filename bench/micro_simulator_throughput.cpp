@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate itself:
+ * event-queue throughput, DRAM command issue, controller request
+ * service, and end-to-end covert-channel window simulation speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/leakyhammer.hh"
+
+namespace {
+
+using namespace leaky;
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t counter = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleAfter(static_cast<sim::Tick>(i % 97),
+                             [&counter] { counter += 1; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(counter);
+    state.SetItemsProcessed(static_cast<std::int64_t>(counter));
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_DramCommandIssue(benchmark::State &state)
+{
+    dram::DramChannel chan(dram::DramConfig::ddr5Paper());
+    dram::Address a;
+    sim::Tick now = 0;
+    std::uint64_t commands = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 100; ++i) {
+            a.row = static_cast<std::uint32_t>(i % 64);
+            now = std::max(now, chan.earliestIssue(dram::Command::kAct,
+                                                   a));
+            chan.issue(dram::Command::kAct, a, now);
+            now = std::max(now + 1,
+                           chan.earliestIssue(dram::Command::kRd, a));
+            chan.issue(dram::Command::kRd, a, now);
+            now = std::max(now + 1,
+                           chan.earliestIssue(dram::Command::kPre, a));
+            chan.issue(dram::Command::kPre, a, now);
+            commands += 3;
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(commands));
+}
+BENCHMARK(BM_DramCommandIssue);
+
+void
+BM_ControllerRequests(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        sys::SystemConfig cfg =
+            sys::SystemConfig::paper(defense::DefenseKind::kPrac);
+        sys::System system(cfg);
+        state.ResumeTiming();
+
+        std::uint64_t served = 0;
+        for (int i = 0; i < 2000; ++i) {
+            const auto addr = attack::rowAddress(
+                system.mapper(), 0, 0,
+                static_cast<std::uint32_t>(i % 8),
+                static_cast<std::uint32_t>(i % 4),
+                static_cast<std::uint32_t>(i % 1024));
+            system.issueRead(addr, 0, [&served](sim::Tick) {
+                served += 1;
+            });
+        }
+        system.run(sim::kMs);
+        benchmark::DoNotOptimize(served);
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.items_processed() + served));
+    }
+}
+BENCHMARK(BM_ControllerRequests)->Unit(benchmark::kMillisecond);
+
+void
+BM_CovertWindow(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        sys::SystemConfig sys_cfg = core::pracAttackSystem();
+        sys::System system(sys_cfg);
+        auto cfg = attack::makeChannelConfig(
+            system, attack::ChannelKind::kPrac);
+        state.ResumeTiming();
+
+        std::vector<std::uint8_t> symbols = {1, 0, 1, 0};
+        attack::runCovertChannel(system, cfg, symbols);
+    }
+    state.SetLabel("4 windows of 25 us each");
+}
+BENCHMARK(BM_CovertWindow)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * §12: trigger-algorithm taxonomy. Exact trigger algorithms (PRAC,
+ * PRFM) let an attacker deterministically trigger and observe
+ * preventive actions; stateless random algorithms (PARA) fire
+ * independently of the count, so the receiver's per-window observable
+ * distribution barely separates sender-active from sender-idle windows
+ * and the channel degrades.
+ */
+
+#include <cstdio>
+
+#include "core/leakyhammer.hh"
+
+namespace {
+
+leaky::attack::ChannelResult
+runOn(leaky::defense::DefenseKind kind, double para_p)
+{
+    using namespace leaky;
+    sys::SystemConfig sys_cfg = core::pracAttackSystem();
+    sys_cfg.defense.kind = kind;
+    sys_cfg.defense.para_probability = para_p;
+    sys::System system(sys_cfg);
+
+    // Receiver strategy per defense: PRAC's big back-offs use the
+    // back-off detector; PRFM/PARA preventive actions are smaller, so
+    // the receiver counts slow events per window against Trecv.
+    attack::CovertConfig cfg = attack::makeChannelConfig(
+        system, kind == defense::DefenseKind::kPrac
+                    ? attack::ChannelKind::kPrac
+                    : attack::ChannelKind::kRfm);
+    cfg.window = 25 * sim::kUs;
+    cfg.trecv = 3;
+
+    const auto bits = attack::patternBits(
+        attack::MessagePattern::kCheckered0,
+        (core::fullScale() ? 64 : 24) * 8);
+    std::vector<std::uint8_t> symbols;
+    for (bool b : bits)
+        symbols.push_back(b ? 1 : 0);
+    return attack::runCovertChannel(system, cfg, symbols);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace leaky;
+    core::banner("§12: exact vs random trigger algorithms");
+
+    core::Table table({"defense (trigger class)", "error prob",
+                       "capacity (Kbps)"});
+
+    const auto prac = runOn(defense::DefenseKind::kPrac, 0.0);
+    table.addRow({"PRAC (exact, device)",
+                  core::fmt(prac.symbol_error, 3),
+                  core::fmt(prac.capacity / 1000.0, 1)});
+
+    const auto prfm = runOn(defense::DefenseKind::kPrfm, 0.0);
+    table.addRow({"PRFM (exact, controller)",
+                  core::fmt(prfm.symbol_error, 3),
+                  core::fmt(prfm.capacity / 1000.0, 1)});
+
+    for (double p : {0.005, 0.02, 0.08}) {
+        const auto para = runOn(defense::DefenseKind::kPara, p);
+        table.addRow({"PARA (random, p=" + core::fmt(p, 3) + ")",
+                      core::fmt(para.symbol_error, 3),
+                      core::fmt(para.capacity / 1000.0, 1)});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\npaper reference (§12, footnote 7): exact triggers "
+                "enable reliable channels; random triggers cannot be "
+                "triggered reliably, so the channel degrades at low "
+                "action rates -- though at higher p a statistical "
+                "channel persists (secure low-NRH PARA configurations "
+                "pay for this with performance overhead)\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Attacker-side address construction. In the paper's threat model (§5.2)
+ * attack processes partially reverse engineer the DRAM address mapping
+ * and massage pages into chosen rows/banks; in simulation that amounts
+ * to composing physical addresses through the same AddressMapper the
+ * system uses.
+ */
+
+#ifndef LEAKY_ATTACK_DRAM_ADDR_HH
+#define LEAKY_ATTACK_DRAM_ADDR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/address_mapper.hh"
+
+namespace leaky::attack {
+
+/** Physical address of (channel, rank, bankgroup, bank, row, column). */
+inline std::uint64_t
+rowAddress(const dram::AddressMapper &mapper, std::uint32_t channel,
+           std::uint32_t rank, std::uint32_t bankgroup, std::uint32_t bank,
+           std::uint32_t row, std::uint32_t column = 0)
+{
+    dram::Address a;
+    a.channel = channel;
+    a.rank = rank;
+    a.bankgroup = bankgroup;
+    a.bank = bank;
+    a.row = row;
+    a.column = column;
+    return mapper.compose(a);
+}
+
+/** N addresses in distinct rows of the same bank (for Listing 2). */
+inline std::vector<std::uint64_t>
+rowsInBank(const dram::AddressMapper &mapper, std::uint32_t channel,
+           std::uint32_t rank, std::uint32_t bankgroup, std::uint32_t bank,
+           std::uint32_t first_row, std::uint32_t count,
+           std::uint32_t stride = 1)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        out.push_back(rowAddress(mapper, channel, rank, bankgroup, bank,
+                                 first_row + i * stride));
+    }
+    return out;
+}
+
+} // namespace leaky::attack
+
+#endif // LEAKY_ATTACK_DRAM_ADDR_HH

@@ -1,0 +1,73 @@
+#include "attack/probe.hh"
+
+#include "sim/logging.hh"
+
+namespace leaky::attack {
+
+const char *
+latencyClassName(LatencyClass c)
+{
+    switch (c) {
+      case LatencyClass::kFast: return "fast";
+      case LatencyClass::kConflict: return "conflict";
+      case LatencyClass::kRfm: return "rfm";
+      case LatencyClass::kRefresh: return "refresh";
+      case LatencyClass::kBackoff: return "backoff";
+    }
+    return "?";
+}
+
+LatencyClassifier
+LatencyClassifier::forTiming(const dram::Timing &timing, Tick base_latency,
+                             std::uint32_t rfms_per_backoff)
+{
+    LatencyClassifier c;
+    // A conflict costs tRP + tRCD + tCL on top of the loop floor.
+    c.conflict_min = base_latency / 2 + timing.tRP;
+    // An RFM window adds tRFM; a (double) postponed refresh adds 2xtRFC;
+    // a back-off adds tABOACT + N recovery RFM windows. The back-off
+    // threshold sits at ~60% of the nominal back-off latency, which for
+    // small N collapses into the refresh band (Fig. 11).
+    c.rfm_min = base_latency / 2 + timing.tRFM / 2 + timing.tRP;
+    c.refresh_min = base_latency + timing.tRFC + timing.tRFC / 2;
+    c.backoff_min = base_latency + timing.tABOACT +
+                    rfms_per_backoff * timing.tRFM_backoff * 6 / 10;
+    return c;
+}
+
+LatencyProbe::LatencyProbe(sys::MemoryPort &port, ProbeConfig cfg)
+    : port_(port), cfg_(std::move(cfg))
+{
+    LEAKY_ASSERT(!cfg_.addrs.empty(), "probe needs at least one address");
+    samples_.reserve(cfg_.iterations);
+}
+
+void
+LatencyProbe::start(std::function<void()> on_done)
+{
+    on_done_ = std::move(on_done);
+    mark_ = port_.now();
+    iterate();
+}
+
+void
+LatencyProbe::iterate()
+{
+    if (iter_ >= cfg_.iterations) {
+        if (on_done_)
+            on_done_();
+        return;
+    }
+    const std::uint64_t addr = cfg_.addrs[iter_ % cfg_.addrs.size()];
+    iter_ += 1;
+    // clflush + loop overhead, then the (cache-bypassing) access.
+    port_.schedule(cfg_.iter_overhead, [this, addr] {
+        port_.issueRead(addr, cfg_.source, [this](Tick done) {
+            samples_.push_back({done, done - mark_});
+            mark_ = done;
+            iterate();
+        });
+    });
+}
+
+} // namespace leaky::attack

@@ -1,0 +1,479 @@
+#include "core/experiments.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "attack/counter_leak.hh"
+#include "attack/dram_addr.hh"
+#include "attack/noise.hh"
+#include "sim/logging.hh"
+#include "stats/channel_metrics.hh"
+#include "workload/website.hh"
+
+namespace leaky::core {
+
+using attack::ChannelKind;
+using defense::DefenseKind;
+
+bool
+fullScale()
+{
+    const char *env = std::getenv("LEAKY_BENCH_FULL");
+    return env != nullptr && env[0] == '1';
+}
+
+sys::SystemConfig
+pracAttackSystem()
+{
+    sys::SystemConfig cfg = sys::SystemConfig::paper(DefenseKind::kPrac);
+    cfg.defense.nbo_override = 128; // Paper §6.1 assumption.
+    cfg.defense.rfms_per_backoff = 4;
+    return cfg;
+}
+
+sys::SystemConfig
+prfmAttackSystem()
+{
+    sys::SystemConfig cfg = sys::SystemConfig::paper(DefenseKind::kPrfm);
+    cfg.defense.trfm_override = 40; // Paper §7.1 assumption.
+    return cfg;
+}
+
+// ------------------------------------------------------------- Fig. 2
+
+LatencyTraceResult
+runLatencyTrace(std::uint32_t iterations, std::uint32_t rfms_per_backoff)
+{
+    sys::SystemConfig cfg = pracAttackSystem();
+    cfg.defense.rfms_per_backoff = rfms_per_backoff;
+    sys::System system(cfg);
+
+    attack::ProbeConfig probe_cfg;
+    probe_cfg.addrs = {
+        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 1000),
+        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 2000)};
+    probe_cfg.iterations = iterations;
+    attack::LatencyProbe probe(system, probe_cfg);
+
+    bool done = false;
+    probe.start([&done] { done = true; });
+    while (!done)
+        system.run(sim::kMs);
+
+    LatencyTraceResult result;
+    result.samples = probe.samples();
+    result.classifier = attack::LatencyClassifier::forTiming(
+        cfg.ctrl.dram.timing, 90'000, rfms_per_backoff);
+    result.backoffs = system.controller(0).stats().backoffs;
+    result.refreshes = system.controller(0).stats().refreshes;
+
+    double sums[3] = {0, 0, 0};
+    std::uint64_t counts[3] = {0, 0, 0};
+    for (const auto &sample : result.samples) {
+        switch (result.classifier.classify(sample.latency)) {
+          case attack::LatencyClass::kConflict:
+            sums[0] += static_cast<double>(sample.latency);
+            counts[0] += 1;
+            break;
+          case attack::LatencyClass::kRfm:
+          case attack::LatencyClass::kRefresh:
+            sums[1] += static_cast<double>(sample.latency);
+            counts[1] += 1;
+            break;
+          case attack::LatencyClass::kBackoff:
+            sums[2] += static_cast<double>(sample.latency);
+            counts[2] += 1;
+            break;
+          default:
+            break;
+        }
+    }
+    result.mean_conflict_latency_ns =
+        counts[0] ? sums[0] / static_cast<double>(counts[0]) / 1e3 : 0.0;
+    result.mean_refresh_latency_ns =
+        counts[1] ? sums[1] / static_cast<double>(counts[1]) / 1e3 : 0.0;
+    result.mean_backoff_latency_ns =
+        counts[2] ? sums[2] / static_cast<double>(counts[2]) / 1e3 : 0.0;
+    return result;
+}
+
+// -------------------------------------------------- Figs. 3-8 (covert)
+
+namespace {
+
+sys::SystemConfig
+channelSystemConfig(const ChannelRunSpec &spec)
+{
+    sys::SystemConfig cfg = spec.kind == ChannelKind::kPrac
+                                ? pracAttackSystem()
+                                : prfmAttackSystem();
+    cfg.defense.rfms_per_backoff = spec.rfms_per_backoff;
+    cfg.defense.backoff_rfm_latency = spec.backoff_rfm_latency;
+    cfg.defense.aboact_override = spec.aboact_override;
+    cfg.defense.seed = spec.seed;
+    cfg.ctrl.deterministic_refresh = spec.filter_refresh;
+    return cfg;
+}
+
+/** Attach background SPEC-like cores; returns them for lifetime. */
+std::vector<std::unique_ptr<sys::TraceCore>>
+attachBackground(sys::System &system,
+                 const std::vector<workload::AppSpec> &apps,
+                 bool large_caches, std::uint32_t trace_records = 40'000)
+{
+    std::vector<std::unique_ptr<sys::TraceCore>> cores;
+    std::int32_t source = 10;
+    for (const auto &app : apps) {
+        sys::CoreConfig core_cfg;
+        core_cfg.inst_budget = ~std::uint64_t{0} >> 1; // Run forever.
+        core_cfg.mshrs = app.mlp;
+        if (large_caches) {
+            core_cfg.caches = sys::CacheHierarchyConfig::largeHierarchy();
+            core_cfg.enable_prefetcher = true;
+        }
+        auto trace = workload::generateTrace(app, system.mapper(),
+                                             trace_records);
+        cores.push_back(std::make_unique<sys::TraceCore>(
+            system, core_cfg, std::move(trace), source++));
+        cores.back()->start();
+    }
+    return cores;
+}
+
+attack::CovertConfig
+channelConfig(sys::System &system, const ChannelRunSpec &spec)
+{
+    attack::CovertConfig cfg =
+        attack::makeChannelConfig(system, spec.kind, spec.levels);
+    if (spec.backoff_rfm_latency || spec.aboact_override) {
+        // Re-derive thresholds for the modified back-off latency. The
+        // controller's timing already carries the overrides.
+        const auto &timing = system.controller(0).config().dram.timing;
+        cfg.classifier = attack::LatencyClassifier::forTiming(
+            timing, 90'000, spec.rfms_per_backoff);
+    }
+    if (spec.filter_refresh) {
+        cfg.refresh_blackout = true;
+        const auto &timing = system.controller(0).config().dram.timing;
+        cfg.refi = timing.tREFI;
+        cfg.blackout_post = timing.tRFC + 300'000;
+    }
+    if (spec.backoff_min_override)
+        cfg.classifier.backoff_min = spec.backoff_min_override;
+    return cfg;
+}
+
+} // namespace
+
+attack::ChannelResult
+runChannel(const ChannelRunSpec &spec)
+{
+    const sys::SystemConfig sys_cfg = channelSystemConfig(spec);
+    sys::System system(sys_cfg);
+
+    attack::CovertConfig cfg = channelConfig(system, spec);
+    if (spec.levels > 2)
+        cfg.count_cuts = attack::calibrateCuts(sys_cfg, cfg);
+
+    // Noise microbenchmark targeting the covert channel's bank (§6.3).
+    std::unique_ptr<attack::NoiseAgent> noise;
+    if (spec.noise_sleep > 0) {
+        attack::NoiseConfig noise_cfg;
+        // Six rows: more counters than one back-off recovery can reset,
+        // so noise-side counters survive preventive actions.
+        noise_cfg.addrs = attack::rowsInBank(system.mapper(), 0, 0, 0, 0,
+                                             3000, 6, 512);
+        noise_cfg.sleep = spec.noise_sleep;
+        noise = std::make_unique<attack::NoiseAgent>(system, noise_cfg);
+        noise->start();
+    }
+    auto background =
+        attachBackground(system, spec.background, spec.large_caches);
+
+    const auto bits = attack::patternBits(
+        spec.pattern, spec.message_bytes * 8);
+    const auto symbols = attack::symbolsFromBits(bits, spec.levels);
+    return attack::runCovertChannel(system, cfg, symbols);
+}
+
+PatternSweepResult
+runPatternSweep(ChannelRunSpec spec)
+{
+    const attack::MessagePattern patterns[] = {
+        attack::MessagePattern::kAllOnes,
+        attack::MessagePattern::kAllZeros,
+        attack::MessagePattern::kCheckered0,
+        attack::MessagePattern::kCheckered1};
+    PatternSweepResult result;
+    for (auto p : patterns) {
+        spec.pattern = p;
+        const auto run = runChannel(spec);
+        result.raw_bit_rate += run.raw_bit_rate / 4.0;
+        result.error_probability += run.symbol_error / 4.0;
+        result.capacity += run.capacity / 4.0;
+    }
+    return result;
+}
+
+MessageDemoResult
+runMessageDemo(attack::ChannelKind kind, const std::string &message)
+{
+    ChannelRunSpec spec;
+    spec.kind = kind;
+    const sys::SystemConfig sys_cfg = channelSystemConfig(spec);
+    sys::System system(sys_cfg);
+    attack::CovertConfig cfg = channelConfig(system, spec);
+
+    const auto bits = attack::bitsFromString(message);
+    std::vector<std::uint8_t> symbols;
+    for (bool b : bits)
+        symbols.push_back(b ? 1 : 0);
+
+    attack::CovertSender sender(system, cfg);
+    attack::CovertReceiver receiver(system, cfg);
+    const Tick epoch = system.now() + 2 * sim::kUs;
+    sender.transmit(symbols, epoch);
+    bool done = false;
+    receiver.listen(symbols.size(), epoch, [&done] { done = true; });
+    while (!done)
+        system.run(cfg.window);
+
+    MessageDemoResult result;
+    result.sent_bits = bits;
+    for (auto s : receiver.decoded())
+        result.received_bits.push_back(s != 0);
+    result.detections = receiver.detections();
+    result.decoded_text = attack::stringFromBits(result.received_bits);
+    return result;
+}
+
+// ------------------------------------------------------- Figs. 9/10, T2
+
+FingerprintSample
+collectOneFingerprint(const FingerprintSpec &spec, std::uint32_t site,
+                      std::uint32_t load)
+{
+    sys::SystemConfig sys_cfg =
+        sys::SystemConfig::paper(DefenseKind::kPrac, spec.nrh);
+    sys::System system(sys_cfg);
+    const auto nbo = defense::nboFor(spec.nrh);
+
+    // The victim browser.
+    workload::WebsiteTraceConfig web_cfg;
+    web_cfg.site = site;
+    web_cfg.load = load;
+    web_cfg.base_seed = spec.seed;
+    web_cfg.duration = spec.duration;
+    auto trace = workload::generateWebsiteTrace(web_cfg, system.mapper());
+
+    sys::CoreConfig core_cfg;
+    core_cfg.inst_budget = ~std::uint64_t{0} >> 1;
+    if (spec.large_caches) {
+        core_cfg.caches = sys::CacheHierarchyConfig::largeHierarchy();
+        core_cfg.enable_prefetcher = true;
+    }
+    sys::TraceCore browser(system, core_cfg, std::move(trace), 1);
+    browser.start();
+
+    std::vector<std::unique_ptr<sys::TraceCore>> background;
+    if (spec.background_noise) {
+        background = attachBackground(
+            system,
+            {workload::appsWithIntensity(
+                 workload::Intensity::kMedium)[site % 3]},
+            spec.large_caches);
+    }
+
+    // The attacker's probe, placed away from the browser's rows;
+    // back-offs are channel-wide so colocation is unnecessary (§8).
+    attack::FingerprintConfig probe_cfg;
+    probe_cfg.rows = attack::rowsInBank(
+        system.mapper(), 0, system.mapper().org().ranks - 1,
+        system.mapper().org().bankgroups - 1,
+        system.mapper().org().banks_per_group - 1, 500, 8, 64);
+    probe_cfg.t_accesses = nbo > 1 ? nbo - 1 : 1;
+    probe_cfg.duration = spec.duration;
+    probe_cfg.classifier =
+        attack::LatencyClassifier::forTiming(sys_cfg.ctrl.dram.timing);
+    attack::FingerprintProbe probe(system, probe_cfg);
+
+    bool done = false;
+    probe.start([&done] { done = true; });
+    while (!done)
+        system.run(sim::kMs);
+
+    FingerprintSample sample;
+    sample.site = site;
+    sample.load = load;
+    sample.backoff_times = probe.backoffTimes();
+    sample.duration = spec.duration;
+    return sample;
+}
+
+std::vector<FingerprintSample>
+collectFingerprints(const FingerprintSpec &spec)
+{
+    std::vector<FingerprintSample> samples;
+    samples.reserve(static_cast<std::size_t>(spec.sites) *
+                    spec.loads_per_site);
+    for (std::uint32_t site = 0; site < spec.sites; ++site) {
+        for (std::uint32_t load = 0; load < spec.loads_per_site; ++load)
+            samples.push_back(collectOneFingerprint(spec, site, load));
+    }
+    return samples;
+}
+
+ml::Dataset
+fingerprintDataset(const std::vector<FingerprintSample> &raw,
+                   std::uint32_t windows)
+{
+    ml::Dataset data;
+    for (const auto &sample : raw) {
+        auto features = attack::extractFeatures(
+            sample.backoff_times, sample.duration, windows);
+        data.add(std::move(features.values),
+                 static_cast<int>(sample.site));
+    }
+    return data;
+}
+
+// ------------------------------------------------------------- Fig. 13
+
+namespace {
+
+/** Run until all cores retire their budget or the cap elapses. */
+void
+runCoresToBudget(sys::System &system,
+                 std::vector<std::unique_ptr<sys::TraceCore>> &cores,
+                 Tick cap)
+{
+    const Tick start = system.now();
+    while (system.now() - start < cap) {
+        bool all_done = true;
+        for (const auto &core : cores)
+            all_done = all_done && core->budgetDone();
+        if (all_done)
+            break;
+        system.run(500 * sim::kUs);
+    }
+}
+
+std::vector<std::unique_ptr<sys::TraceCore>>
+makeCores(sys::System &system, const workload::Mix &mix,
+          std::uint64_t insts_per_core)
+{
+    std::vector<std::unique_ptr<sys::TraceCore>> cores;
+    std::int32_t source = 0;
+    for (const auto &app : mix.apps) {
+        sys::CoreConfig core_cfg;
+        core_cfg.inst_budget = insts_per_core;
+        core_cfg.mshrs = app.mlp;
+        auto trace = workload::generateTrace(app, system.mapper(),
+                                             40'000);
+        cores.push_back(std::make_unique<sys::TraceCore>(
+            system, core_cfg, std::move(trace), source++));
+        cores.back()->start();
+    }
+    return cores;
+}
+
+constexpr Tick kPerfRunCap = 80 * sim::kMs;
+
+} // namespace
+
+namespace {
+
+/** Weighted speedup of @p mix on a system with @p kind at @p nrh. */
+double
+sharedWs(DefenseKind kind, std::uint32_t nrh, const workload::Mix &mix,
+         const std::vector<double> &ipc_alone,
+         std::uint64_t insts_per_core)
+{
+    sys::SystemConfig cfg = sys::SystemConfig::paper(kind, nrh);
+    // The performance study models a mid-lifetime slice of a long run:
+    // PRAC counters are warm (see defense/prac.hh).
+    cfg.defense.warm_counters = true;
+    sys::System system(cfg);
+    auto cores = makeCores(system, mix, insts_per_core);
+    runCoresToBudget(system, cores, kPerfRunCap);
+    std::vector<double> ipc_shared;
+    for (const auto &core : cores)
+        ipc_shared.push_back(core->ipcAt(system.now()));
+    return stats::weightedSpeedup(ipc_shared, ipc_alone);
+}
+
+/** Alone IPC per app of a mix on the unprotected system. */
+std::vector<double>
+aloneIpcs(const workload::Mix &mix, std::uint64_t insts_per_core)
+{
+    std::vector<double> ipc_alone;
+    for (const auto &app : mix.apps) {
+        sys::SystemConfig cfg =
+            sys::SystemConfig::paper(DefenseKind::kNone, 1024);
+        sys::System system(cfg);
+        workload::Mix solo{mix.name + "-solo", {app}};
+        auto cores = makeCores(system, solo, insts_per_core);
+        runCoresToBudget(system, cores, kPerfRunCap);
+        ipc_alone.push_back(cores[0]->ipcAt(system.now()));
+    }
+    return ipc_alone;
+}
+
+} // namespace
+
+double
+runPerfCell(DefenseKind kind, std::uint32_t nrh,
+            const std::vector<workload::Mix> &mixes, std::uint32_t cores,
+            std::uint64_t insts_per_core)
+{
+    (void)cores;
+    double total_norm_ws = 0.0;
+    for (const auto &mix : mixes) {
+        const auto ipc_alone = aloneIpcs(mix, insts_per_core);
+        const double ws_base = sharedWs(DefenseKind::kNone, nrh, mix,
+                                        ipc_alone, insts_per_core);
+        const double ws_def =
+            sharedWs(kind, nrh, mix, ipc_alone, insts_per_core);
+        total_norm_ws += ws_base > 0.0 ? ws_def / ws_base : 0.0;
+    }
+    return total_norm_ws / static_cast<double>(mixes.size());
+}
+
+std::vector<PerfPoint>
+runMitigationPerf(const PerfSpec &spec)
+{
+    const auto mixes =
+        workload::makeMixes(spec.mixes, spec.cores, spec.seed);
+
+    // Per-mix baselines are shared across every (defense, NRH) cell.
+    std::vector<std::vector<double>> alone;
+    std::vector<double> ws_base;
+    for (const auto &mix : mixes) {
+        alone.push_back(aloneIpcs(mix, spec.insts_per_core));
+        ws_base.push_back(sharedWs(DefenseKind::kNone, 1024, mix,
+                                   alone.back(), spec.insts_per_core));
+    }
+
+    std::vector<PerfPoint> points;
+    for (auto nrh : spec.nrh_values) {
+        for (auto kind : spec.defenses) {
+            double total = 0.0;
+            for (std::size_t m = 0; m < mixes.size(); ++m) {
+                const double ws_def =
+                    sharedWs(kind, nrh, mixes[m], alone[m],
+                             spec.insts_per_core);
+                total += ws_base[m] > 0.0 ? ws_def / ws_base[m] : 0.0;
+            }
+            PerfPoint point;
+            point.defense = defense::defenseName(kind);
+            point.nrh = nrh;
+            point.normalized_ws =
+                total / static_cast<double>(mixes.size());
+            points.push_back(point);
+        }
+    }
+    return points;
+}
+
+} // namespace leaky::core

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * High-level experiment runners: one function per family of paper
+ * results, shared by the bench/ binaries and the examples. Each runner
+ * builds a fresh System (paper Table 1 configuration), attaches the
+ * necessary agents/cores, runs the event queue, and returns the numbers
+ * the corresponding figure/table plots.
+ *
+ * Scale knobs: every runner takes explicit sizes; benches default to a
+ * fast configuration and honour LEAKY_BENCH_FULL=1 for paper-scale runs
+ * (see EXPERIMENTS.md).
+ */
+
+#ifndef LEAKY_CORE_EXPERIMENTS_HH
+#define LEAKY_CORE_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/covert.hh"
+#include "attack/fingerprint.hh"
+#include "attack/message.hh"
+#include "attack/probe.hh"
+#include "ml/dataset.hh"
+#include "sys/system.hh"
+#include "workload/synthetic.hh"
+
+namespace leaky::core {
+
+using sim::Tick;
+
+/** True when LEAKY_BENCH_FULL=1 (paper-scale benchmark runs). */
+bool fullScale();
+
+/** Paper Table 1 system with PRAC at the attack-study operating point
+ *  (NBO = 128, 4 RFMs per back-off). */
+sys::SystemConfig pracAttackSystem();
+
+/** Paper §7 system: PRFM with TRFM = 40. */
+sys::SystemConfig prfmAttackSystem();
+
+// ------------------------------------------------------------- Fig. 2
+
+/** Fig. 2: latencies of consecutive requests under PRAC (Listing 1). */
+struct LatencyTraceResult {
+    std::vector<attack::LatencySample> samples;
+    attack::LatencyClassifier classifier;
+    std::uint64_t backoffs = 0; ///< Ground truth.
+    std::uint64_t refreshes = 0;
+    double mean_backoff_latency_ns = 0.0;
+    double mean_conflict_latency_ns = 0.0;
+    double mean_refresh_latency_ns = 0.0;
+};
+
+LatencyTraceResult runLatencyTrace(std::uint32_t iterations = 512,
+                                   std::uint32_t rfms_per_backoff = 4);
+
+// -------------------------------------------------- Figs. 3-8 (covert)
+
+/** Options for one covert-channel run. */
+struct ChannelRunSpec {
+    attack::ChannelKind kind = attack::ChannelKind::kPrac;
+    std::uint32_t levels = 2;
+    std::size_t message_bytes = 100;
+    attack::MessagePattern pattern = attack::MessagePattern::kCheckered0;
+    /** Noise microbenchmark sleep (0 = no noise agent). */
+    Tick noise_sleep = 0;
+    /** Concurrent SPEC-like apps (empty = none). */
+    std::vector<workload::AppSpec> background;
+    std::uint32_t rfms_per_backoff = 4;
+    /** Override back-off RFM latency (Fig. 12 sweep); 0 = default. */
+    Tick backoff_rfm_latency = 0;
+    /** Override the post-alert normal-traffic window; 0 = default. */
+    Tick aboact_override = 0;
+    /**
+     * Pin refreshes to the tREFI grid (no postponing) and filter them
+     * out at the receiver (paper footnote 6 and §10.1) -- used when
+     * the preventive-action latency shrinks into the refresh band
+     * (Figs. 11/12).
+     */
+    bool filter_refresh = false;
+    /** Override the receiver's back-off detection threshold (Fig. 12
+     *  sweeps it against the preventive-action latency); 0 = derive. */
+    Tick backoff_min_override = 0;
+    /** Larger cache hierarchy + prefetchers for background apps
+     *  (§10.3). */
+    bool large_caches = false;
+    std::uint64_t seed = 1;
+};
+
+/** A run plus its Eq.-1 metrics. */
+attack::ChannelResult runChannel(const ChannelRunSpec &spec);
+
+/** Average metrics over the four message patterns (§6.3, §7.3). */
+struct PatternSweepResult {
+    double raw_bit_rate = 0.0;
+    double error_probability = 0.0;
+    double capacity = 0.0;
+};
+
+PatternSweepResult runPatternSweep(ChannelRunSpec spec);
+
+/** Transmit "MICRO" and report the per-window detections (Figs. 3/6). */
+struct MessageDemoResult {
+    std::vector<bool> sent_bits;
+    std::vector<bool> received_bits;
+    /** Receiver observable per window: back-offs (PRAC) or RFM count. */
+    std::vector<std::uint32_t> detections;
+    std::string decoded_text;
+};
+
+MessageDemoResult runMessageDemo(attack::ChannelKind kind,
+                                 const std::string &message = "MICRO");
+
+// ------------------------------------------------------- Figs. 9/10, T2
+
+/** One collected website fingerprint. */
+struct FingerprintSample {
+    std::uint32_t site = 0;
+    std::uint32_t load = 0;
+    std::vector<Tick> backoff_times;
+    Tick duration = 0;
+};
+
+/** Side-channel data-collection options (§8: NRH = 64). */
+struct FingerprintSpec {
+    std::uint32_t sites = 40;
+    std::uint32_t loads_per_site = 50;
+    std::uint32_t nrh = 64;
+    Tick duration = 4 * sim::kMs;
+    bool large_caches = false;    ///< §10.3 variant.
+    bool background_noise = false; ///< Concurrent SPEC-like app (§8).
+    std::uint64_t seed = 2025;
+};
+
+/** Collect fingerprints by simulating browser + probe per load. */
+std::vector<FingerprintSample>
+collectFingerprints(const FingerprintSpec &spec);
+
+/** Collect a single (site, load) fingerprint. */
+FingerprintSample collectOneFingerprint(const FingerprintSpec &spec,
+                                        std::uint32_t site,
+                                        std::uint32_t load);
+
+/** Turn fingerprints into the ML dataset (extractFeatures per sample). */
+ml::Dataset fingerprintDataset(const std::vector<FingerprintSample> &raw,
+                               std::uint32_t windows = 32);
+
+// ------------------------------------------------------------- Fig. 13
+
+/** One cell of the Fig. 13 sweep. */
+struct PerfPoint {
+    std::string defense;
+    std::uint32_t nrh = 0;
+    double normalized_ws = 0.0; ///< vs. the no-mitigation baseline.
+};
+
+/** Performance-evaluation options. */
+struct PerfSpec {
+    std::vector<std::uint32_t> nrh_values = {1024, 512, 256, 128, 64};
+    std::vector<defense::DefenseKind> defenses = {
+        defense::DefenseKind::kPrac, defense::DefenseKind::kPrfm,
+        defense::DefenseKind::kPracRiac, defense::DefenseKind::kFrRfm,
+        defense::DefenseKind::kPracBank};
+    std::uint32_t mixes = 60;
+    std::uint32_t cores = 4;
+    std::uint64_t insts_per_core = 200'000;
+    std::uint64_t seed = 42;
+};
+
+/** Run the Fig. 13 sweep (normalized weighted speedup). */
+std::vector<PerfPoint> runMitigationPerf(const PerfSpec &spec);
+
+/** Weighted speedup of one (defense, nrh, mixes) cell. */
+double runPerfCell(defense::DefenseKind kind, std::uint32_t nrh,
+                   const std::vector<workload::Mix> &mixes,
+                   std::uint32_t cores, std::uint64_t insts_per_core);
+
+} // namespace leaky::core
+
+#endif // LEAKY_CORE_EXPERIMENTS_HH

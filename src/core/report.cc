@@ -1,0 +1,112 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace leaky::core {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    const auto render_row = [&widths](const std::vector<std::string> &row)
+    {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule.append(widths[c], '-');
+        if (c + 1 < widths.size())
+            rule.append(2, ' ');
+    }
+    out += rule + '\n';
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    const auto render = [](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += ',';
+        }
+        line += '\n';
+        return line;
+    };
+    std::string out = render(headers_);
+    for (const auto &row : rows_)
+        out += render(row);
+    return out;
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmtKbps(double bits_per_second)
+{
+    return fmt(bits_per_second / 1000.0, 1) + " Kbps";
+}
+
+std::string
+sparkline(const std::vector<double> &values)
+{
+    static const char *levels[] = {" ", ".", ":", "-", "=", "+", "*",
+                                   "#"};
+    double peak = 1e-9;
+    for (double v : values)
+        peak = std::max(peak, v);
+    std::string out;
+    for (double v : values) {
+        auto idx = static_cast<std::size_t>(v / peak * 7.0 + 0.5);
+        out += levels[std::min<std::size_t>(idx, 7)];
+    }
+    return out;
+}
+
+void
+banner(const std::string &title)
+{
+    std::string rule(title.size() + 4, '=');
+    std::printf("\n%s\n| %s |\n%s\n", rule.c_str(), title.c_str(),
+                rule.c_str());
+}
+
+} // namespace leaky::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text reporting helpers for the bench binaries: aligned tables,
+ * CSV emission, and a tiny ASCII line/strip chart so figures can be
+ * eyeballed in a terminal.
+ */
+
+#ifndef LEAKY_CORE_REPORT_HH
+#define LEAKY_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace leaky::core {
+
+/** Aligned-column table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment. */
+    std::string str() const;
+
+    /** Render as CSV (for downstream plotting). */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers. */
+std::string fmt(double value, int precision = 2);
+std::string fmtKbps(double bits_per_second);
+
+/**
+ * ASCII sparkline of a series scaled to [0, max] using eight block
+ * levels, e.g. for Fig. 2's latency trace.
+ */
+std::string sparkline(const std::vector<double> &values);
+
+/** Print a section banner to stdout. */
+void banner(const std::string &title);
+
+} // namespace leaky::core
+
+#endif // LEAKY_CORE_REPORT_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Interface between the memory controller and controller-side RowHammer
+ * defenses (PRFM, FR-RFM). The controller reports activations and asks
+ * the defense which RFM commands are due; the defense never touches the
+ * channel directly so it cannot violate timing.
+ */
+
+#ifndef LEAKY_CTRL_DEFENSE_IFACE_HH
+#define LEAKY_CTRL_DEFENSE_IFACE_HH
+
+#include <optional>
+
+#include "dram/types.hh"
+#include "sim/tick.hh"
+
+namespace leaky::ctrl {
+
+using dram::Address;
+using dram::Command;
+using sim::Tick;
+
+/** An RFM the defense wants the controller to issue. */
+struct RfmRequest {
+    Command kind = Command::kRfmAll;
+    Address target;          ///< rank (+ bank for kRfmSameBank).
+    bool all_ranks = false;  ///< Issue to every rank (channel scope).
+    /**
+     * Precise scheduling (FR-RFM): the RFM must be issued exactly at
+     * @p scheduled_at; the controller starts draining early enough to
+     * make that deadline. Non-precise RFMs are issued as soon as the
+     * target banks can be closed.
+     */
+    bool precise = false;
+    Tick scheduled_at = 0;
+    Tick latency_override = 0; ///< 0 selects the config default (tRFM).
+};
+
+/** Controller-side defense observation and command-injection points. */
+class ControllerDefense
+{
+  public:
+    virtual ~ControllerDefense() = default;
+
+    /** The controller issued an ACT to @p addr. */
+    virtual void onActivate(const Address &addr, Tick now) = 0;
+
+    /** Next RFM the defense needs, if any is due at/around @p now. */
+    virtual std::optional<RfmRequest> pendingRfm(Tick now) = 0;
+
+    /** The controller finished issuing @p req (window ends at @p end). */
+    virtual void onRfmIssued(const RfmRequest &req, Tick issued,
+                             Tick end) = 0;
+
+    /** Next tick the defense needs the controller awake (timers). */
+    virtual Tick nextEventTick(Tick now) const = 0;
+};
+
+/** Defense that never requests anything (baseline / device-side only). */
+class NullControllerDefense final : public ControllerDefense
+{
+  public:
+    void onActivate(const Address &, Tick) override {}
+    std::optional<RfmRequest> pendingRfm(Tick) override
+    {
+        return std::nullopt;
+    }
+    void onRfmIssued(const RfmRequest &, Tick, Tick) override {}
+    Tick nextEventTick(Tick) const override { return sim::kTickMax; }
+};
+
+} // namespace leaky::ctrl
+
+#endif // LEAKY_CTRL_DEFENSE_IFACE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Periodic-refresh bookkeeping. Models the paper's controller (§6.2,
+ * footnote 3): one REF is owed every tREFI; the controller may postpone
+ * a REF by one interval (to serve pending reads) and then issues the two
+ * owed REFs back-to-back, which produces the ~2x tRFC latency spikes the
+ * attacks must distinguish from back-offs.
+ */
+
+#ifndef LEAKY_CTRL_REFRESH_HH
+#define LEAKY_CTRL_REFRESH_HH
+
+#include <cstdint>
+
+#include "sim/tick.hh"
+
+namespace leaky::ctrl {
+
+using sim::Tick;
+
+/** Tracks owed refreshes for one channel (all ranks refresh together). */
+class RefreshManager
+{
+  public:
+    /**
+     * @param refi Refresh interval (tREFI).
+     * @param max_postponed How many owed REFs may accumulate before the
+     *        controller must drain and refresh (2 = postpone by one).
+     */
+    RefreshManager(Tick refi, std::uint32_t max_postponed = 2)
+        : refi_(refi), max_postponed_(max_postponed), next_due_(refi)
+    {
+    }
+
+    /** Accrue owed refreshes up to @p now. */
+    void
+    update(Tick now)
+    {
+        while (now >= next_due_) {
+            owed_ += 1;
+            next_due_ += refi_;
+        }
+    }
+
+    /** Owed REF count. */
+    std::uint32_t owed() const { return owed_; }
+
+    /** True when refresh can no longer be postponed. */
+    bool mustRefresh() const { return owed_ >= max_postponed_; }
+
+    /** True when a refresh could be issued opportunistically. */
+    bool canRefresh() const { return owed_ > 0; }
+
+    /** Record an issued REF. */
+    void
+    onRefIssued()
+    {
+        if (owed_ > 0)
+            owed_ -= 1;
+    }
+
+    /** Next tick at which a new REF becomes owed. */
+    Tick nextDue() const { return next_due_; }
+
+  private:
+    Tick refi_;
+    std::uint32_t max_postponed_;
+    Tick next_due_;
+    std::uint32_t owed_ = 0;
+};
+
+} // namespace leaky::ctrl
+
+#endif // LEAKY_CTRL_REFRESH_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory requests as seen by the memory controller, plus per-controller
+ * statistics used by tests and benchmarks.
+ */
+
+#ifndef LEAKY_CTRL_REQUEST_HH
+#define LEAKY_CTRL_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "dram/types.hh"
+#include "sim/tick.hh"
+
+namespace leaky::ctrl {
+
+using dram::Address;
+using sim::Tick;
+
+/** A cache-line read or write presented to the controller. */
+struct Request {
+    enum class Type : std::uint8_t { kRead, kWrite };
+
+    Type type = Type::kRead;
+    std::uint64_t phys_addr = 0;
+    Address addr; ///< Decoded coordinates (filled by the system front-end).
+    std::int32_t source = 0; ///< Requestor id (core/agent) for stats.
+
+    /** Invoked when the data burst completes (reads) or when the write is
+     *  accepted into the queue (posted writes). */
+    std::function<void(const Request &, Tick completion)> on_complete;
+};
+
+/** Aggregate controller statistics. */
+struct CtrlStats {
+    std::uint64_t reads_served = 0;
+    std::uint64_t writes_served = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;   ///< Activations from empty banks.
+    std::uint64_t row_conflicts = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t rfms = 0;          ///< All RFM kinds.
+    std::uint64_t backoffs = 0;      ///< ABO recoveries (channel scope).
+    std::uint64_t bank_backoffs = 0; ///< Bank-Level PRAC recoveries.
+    std::uint64_t precise_slips = 0; ///< Precise REF/RFMs issued late.
+    Tick read_latency_sum = 0;       ///< Enqueue -> data completion.
+};
+
+} // namespace leaky::ctrl
+
+#endif // LEAKY_CTRL_REQUEST_HH

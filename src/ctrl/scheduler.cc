@@ -1,0 +1,121 @@
+#include "ctrl/scheduler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace leaky::ctrl {
+
+using dram::Command;
+using dram::RowStatus;
+
+FrFcfsScheduler::FrFcfsScheduler(const dram::Organization &org,
+                                 std::uint32_t column_cap)
+    : org_(org), cap_(column_cap), hit_streak_(org.totalBanks(), 0)
+{
+}
+
+Command
+nextCommandFor(const Request &req, RowStatus status)
+{
+    switch (status) {
+      case RowStatus::kHit:
+        return req.type == Request::Type::kRead ? Command::kRd
+                                                : Command::kWr;
+      case RowStatus::kEmpty:
+        return Command::kAct;
+      case RowStatus::kConflict:
+        return Command::kPre;
+    }
+    sim::panic("bad row status");
+}
+
+std::optional<SchedDecision>
+FrFcfsScheduler::pick(const std::deque<QueueEntry> &queue,
+                      const dram::DramChannel &chan,
+                      const BankFilter &blocked, Tick now) const
+{
+    // Pass 1: oldest row-hit whose bank's streak is under the cap, unless
+    // an older non-hit request waits on the same bank past the cap.
+    std::optional<std::size_t> best_hit;
+    std::optional<std::size_t> oldest_any;
+
+    // A "blocked" bank (pending RFM / bank back-off) may still serve
+    // column accesses to its open row -- only new activations must
+    // wait, mirroring DDR5 RAA semantics where the open row remains
+    // usable until the RFM is slotted in.
+    const auto usable = [&](const QueueEntry &e) {
+        return !blocked(e.req.addr) ||
+               chan.rowStatus(e.req.addr) == RowStatus::kHit;
+    };
+
+    // For the column cap we need, per bank, whether an older-than-the-hit
+    // non-hit request exists. Track the oldest non-hit entry per bank.
+    std::vector<std::uint64_t> oldest_nonhit(org_.totalBanks(),
+                                             ~std::uint64_t{0});
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &e = queue[i];
+        if (!usable(e))
+            continue;
+        if (chan.rowStatus(e.req.addr) != RowStatus::kHit) {
+            const auto fb = org_.flatBank(e.req.addr.rank,
+                                          e.req.addr.bankgroup,
+                                          e.req.addr.bank);
+            oldest_nonhit[fb] = std::min(oldest_nonhit[fb], e.order);
+        }
+    }
+
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &e = queue[i];
+        if (!usable(e))
+            continue;
+        if (!oldest_any ||
+            queue[*oldest_any].order > e.order) {
+            oldest_any = i;
+        }
+        if (chan.rowStatus(e.req.addr) != RowStatus::kHit)
+            continue;
+        const auto fb = org_.flatBank(e.req.addr.rank, e.req.addr.bankgroup,
+                                      e.req.addr.bank);
+        const bool capped = hit_streak_[fb] >= cap_ &&
+                            oldest_nonhit[fb] < e.order;
+        if (capped)
+            continue;
+        if (!best_hit || queue[*best_hit].order > e.order)
+            best_hit = i;
+    }
+
+    const std::optional<std::size_t> choice =
+        best_hit ? best_hit : oldest_any;
+    if (!choice)
+        return std::nullopt;
+
+    const auto &entry = queue[*choice];
+    const Command cmd = nextCommandFor(entry.req,
+                                       chan.rowStatus(entry.req.addr));
+    SchedDecision d;
+    d.index = *choice;
+    d.cmd = cmd;
+    d.earliest = std::max(now, chan.earliestIssue(cmd, entry.req.addr));
+    return d;
+}
+
+void
+FrFcfsScheduler::onIssue(const Address &addr, dram::Command cmd,
+                         bool was_hit)
+{
+    const auto fb = org_.flatBank(addr.rank, addr.bankgroup, addr.bank);
+    if ((cmd == Command::kRd || cmd == Command::kWr) && was_hit) {
+        hit_streak_[fb] += 1;
+    } else if (cmd == Command::kAct) {
+        hit_streak_[fb] = 0;
+    }
+}
+
+void
+FrFcfsScheduler::resetStreaks()
+{
+    std::fill(hit_streak_.begin(), hit_streak_.end(), 0);
+}
+
+} // namespace leaky::ctrl

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * FR-FCFS request scheduler with a column-access cap (paper Table 1:
+ * FR-FCFS with a column cap of 16). Row-buffer hits are prioritised over
+ * older requests until a bank has served `cap` consecutive hits while an
+ * older non-hit request waits for the same bank; then the older request
+ * wins, bounding hit-streak starvation.
+ */
+
+#ifndef LEAKY_CTRL_SCHEDULER_HH
+#define LEAKY_CTRL_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ctrl/request.hh"
+#include "dram/channel.hh"
+
+namespace leaky::ctrl {
+
+/** A queued request plus bookkeeping. */
+struct QueueEntry {
+    Request req;
+    Tick arrival = 0;
+    std::uint64_t order = 0; ///< Global FCFS sequence number.
+    bool classified = false; ///< Hit/miss/conflict stat recorded yet?
+};
+
+/** First DRAM command needed to serve a request given row-buffer state. */
+dram::Command nextCommandFor(const Request &req, dram::RowStatus status);
+
+/** The scheduler's choice: which entry to serve and with which command. */
+struct SchedDecision {
+    std::size_t index = 0;      ///< Index into the queue.
+    dram::Command cmd{};        ///< Next command for that request.
+    Tick earliest = 0;          ///< When the command may issue.
+};
+
+/** FR-FCFS with a per-bank consecutive-row-hit cap. */
+class FrFcfsScheduler
+{
+  public:
+    using BankFilter = std::function<bool(const Address &)>;
+
+    FrFcfsScheduler(const dram::Organization &org, std::uint32_t column_cap);
+
+    /**
+     * Pick the next (entry, command) from @p queue.
+     *
+     * @param queue Queue to schedule from.
+     * @param chan Channel state (row-buffer status + timings).
+     * @param blocked Predicate: true if the request's bank must not be
+     *        scheduled (draining for RFM / bank-level back-off).
+     * @param now Current tick.
+     * @return Decision with the earliest issue tick (possibly in the
+     *         future), or nullopt when the queue has no schedulable entry.
+     */
+    std::optional<SchedDecision>
+    pick(const std::deque<QueueEntry> &queue, const dram::DramChannel &chan,
+         const BankFilter &blocked, Tick now) const;
+
+    /** Record that a command was issued for streak accounting. */
+    void onIssue(const Address &addr, dram::Command cmd, bool was_hit);
+
+    /** Reset all hit streaks (e.g., after refresh drains). */
+    void resetStreaks();
+
+  private:
+    dram::Organization org_;
+    std::uint32_t cap_;
+    std::vector<std::uint32_t> hit_streak_; ///< Per flat bank.
+};
+
+} // namespace leaky::ctrl
+
+#endif // LEAKY_CTRL_SCHEDULER_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Security-policy parameter derivation: how defense knobs scale with the
+ * RowHammer threshold NRH for the paper's Fig. 13 sweep.
+ *
+ * - NBO (PRAC back-off threshold) is a fraction of NRH; the standard
+ *   allows 70..100% (§6.1) and the paper's attack studies fix NBO = 128.
+ *   We use 80%.
+ * - TRFM (PRFM bank-activation threshold) follows a Chronus-style secure
+ *   configuration: TRFM = {1024:32, 512:16, 256:8, 128:4, 64:1}. The
+ *   paper's attack studies fix TRFM = 40 (a value the standard supports).
+ * - FR-RFM's period is TRFM x tRC (§11.1), clamped so an RFM window plus
+ *   the drain lead still fits (otherwise the schedule is physically
+ *   unrealisable and the controller would never serve any request).
+ */
+
+#ifndef LEAKY_DEFENSE_POLICY_HH
+#define LEAKY_DEFENSE_POLICY_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "dram/config.hh"
+
+namespace leaky::defense {
+
+using sim::Tick;
+
+/** PRAC back-off threshold for a given NRH (80% of NRH, min 16). */
+inline std::uint32_t
+nboFor(std::uint32_t nrh)
+{
+    return std::max<std::uint32_t>(16, nrh * 4 / 5);
+}
+
+/** Secure PRFM bank-activation threshold for a given NRH
+ *  (~NRH/16, with extra margin at ultra-low thresholds). */
+inline std::uint32_t
+trfmFor(std::uint32_t nrh)
+{
+    if (nrh >= 1024)
+        return 64;
+    if (nrh >= 512)
+        return 32;
+    if (nrh >= 256)
+        return 16;
+    if (nrh >= 128)
+        return 4;
+    return 1;
+}
+
+/**
+ * FR-RFM period: TRFM x tRC, clamped to keep a minimal service window
+ * (RFM busy window + drain lead + 20 ns) so ultra-low thresholds degrade
+ * to heavy-but-finite slowdown, matching the paper's 18.2x at NRH=64.
+ */
+inline Tick
+frRfmPeriodFor(std::uint32_t nrh, const dram::Timing &t, Tick drain_lead)
+{
+    const Tick natural = static_cast<Tick>(trfmFor(nrh)) * t.tRC;
+    const Tick floor = t.tRFM + drain_lead + 20'000;
+    return std::max(natural, floor);
+}
+
+} // namespace leaky::defense
+
+#endif // LEAKY_DEFENSE_POLICY_HH

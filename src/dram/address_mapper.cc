@@ -1,0 +1,76 @@
+#include "dram/address_mapper.hh"
+
+#include "sim/logging.hh"
+
+namespace leaky::dram {
+
+AddressMapper::AddressMapper(const Organization &org, std::uint32_t channels,
+                             std::array<Field, 6> order)
+    : org_(org), channels_(channels), order_(order)
+{
+    LEAKY_ASSERT(channels_ > 0, "need at least one channel");
+    std::uint64_t lines = 1;
+    for (Field f : order_)
+        lines *= fieldSize(f);
+    capacity_ = lines * kLineBytes;
+}
+
+std::uint32_t
+AddressMapper::fieldSize(Field f) const
+{
+    switch (f) {
+      case Field::kColumn: return org_.columns;
+      case Field::kBankGroup: return org_.bankgroups;
+      case Field::kBank: return org_.banks_per_group;
+      case Field::kRank: return org_.ranks;
+      case Field::kRow: return org_.rows;
+      case Field::kChannel: return channels_;
+    }
+    sim::panic("unknown address field");
+}
+
+Address
+AddressMapper::decode(std::uint64_t phys_addr) const
+{
+    std::uint64_t line = (phys_addr % capacity_) / kLineBytes;
+    Address out;
+    for (Field f : order_) {
+        const std::uint32_t size = fieldSize(f);
+        const auto digit = static_cast<std::uint32_t>(line % size);
+        line /= size;
+        switch (f) {
+          case Field::kColumn: out.column = digit; break;
+          case Field::kBankGroup: out.bankgroup = digit; break;
+          case Field::kBank: out.bank = digit; break;
+          case Field::kRank: out.rank = digit; break;
+          case Field::kRow: out.row = digit; break;
+          case Field::kChannel: out.channel = digit; break;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+AddressMapper::compose(const Address &addr) const
+{
+    std::uint64_t line = 0;
+    std::uint64_t scale = 1;
+    for (Field f : order_) {
+        std::uint32_t digit = 0;
+        switch (f) {
+          case Field::kColumn: digit = addr.column; break;
+          case Field::kBankGroup: digit = addr.bankgroup; break;
+          case Field::kBank: digit = addr.bank; break;
+          case Field::kRank: digit = addr.rank; break;
+          case Field::kRow: digit = addr.row; break;
+          case Field::kChannel: digit = addr.channel; break;
+        }
+        LEAKY_ASSERT(digit < fieldSize(f), "field %d out of range",
+                     static_cast<int>(f));
+        line += static_cast<std::uint64_t>(digit) * scale;
+        scale *= fieldSize(f);
+    }
+    return line * kLineBytes;
+}
+
+} // namespace leaky::dram

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Physical-address <-> DRAM-coordinate mapping. The default field order
+ * (LSB to MSB: column, bankgroup, bank, rank, row, channel) interleaves
+ * consecutive cache lines across columns, then bank groups, which is the
+ * row-interleaved mapping the paper's attacks assume. The inverse mapping
+ * (compose) is what attack processes use to "massage" pages into chosen
+ * rows/banks after reverse engineering the mapping, as described in §5.2.
+ */
+
+#ifndef LEAKY_DRAM_ADDRESS_MAPPER_HH
+#define LEAKY_DRAM_ADDRESS_MAPPER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "dram/config.hh"
+#include "dram/types.hh"
+
+namespace leaky::dram {
+
+/** Address fields orderable within the mapping. */
+enum class Field : std::uint8_t {
+    kColumn, kBankGroup, kBank, kRank, kRow, kChannel
+};
+
+/** Maps 64-bit physical addresses to DRAM coordinates and back. */
+class AddressMapper
+{
+  public:
+    static constexpr std::uint32_t kLineBytes = 64;
+
+    /**
+     * @param org Channel geometry.
+     * @param channels Number of channels in the system.
+     * @param order Field order from least to most significant bits.
+     */
+    AddressMapper(const Organization &org, std::uint32_t channels = 1,
+                  std::array<Field, 6> order = {
+                      Field::kColumn, Field::kBankGroup, Field::kBank,
+                      Field::kRank, Field::kRow, Field::kChannel});
+
+    /** Decode a physical byte address into DRAM coordinates. */
+    Address decode(std::uint64_t phys_addr) const;
+
+    /** Encode coordinates back into a physical (line-aligned) address. */
+    std::uint64_t compose(const Address &addr) const;
+
+    /** Size of the mapped physical address space in bytes. */
+    std::uint64_t capacityBytes() const { return capacity_; }
+
+    std::uint32_t channels() const { return channels_; }
+
+    /** Channel geometry this mapper was built for. */
+    const Organization &org() const { return org_; }
+
+  private:
+    std::uint32_t fieldSize(Field f) const;
+
+    Organization org_;
+    std::uint32_t channels_;
+    std::array<Field, 6> order_;
+    std::uint64_t capacity_;
+};
+
+} // namespace leaky::dram
+
+#endif // LEAKY_DRAM_ADDRESS_MAPPER_HH

@@ -1,0 +1,329 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace leaky::dram {
+
+DramChannel::DramChannel(const DramConfig &cfg)
+    : cfg_(cfg), hooks_(&null_hooks_),
+      banks_(cfg.org.totalBanks()),
+      groups_(cfg.org.ranks * cfg.org.bankgroups),
+      ranks_(cfg.org.ranks),
+      cmd_counts_(kNumCommands, 0)
+{
+    for (auto &rank : ranks_)
+        rank.act_window.assign(4, 0);
+}
+
+DramChannel::BankState &
+DramChannel::bank(const Address &a)
+{
+    return banks_[cfg_.org.flatBank(a.rank, a.bankgroup, a.bank)];
+}
+
+const DramChannel::BankState &
+DramChannel::bank(const Address &a) const
+{
+    return banks_[cfg_.org.flatBank(a.rank, a.bankgroup, a.bank)];
+}
+
+DramChannel::GroupState &
+DramChannel::group(const Address &a)
+{
+    return groups_[a.rank * cfg_.org.bankgroups + a.bankgroup];
+}
+
+const DramChannel::GroupState &
+DramChannel::group(const Address &a) const
+{
+    return groups_[a.rank * cfg_.org.bankgroups + a.bankgroup];
+}
+
+void
+DramChannel::bump(Tick &slot, Tick value)
+{
+    slot = std::max(slot, value);
+}
+
+std::int32_t
+DramChannel::openRow(const Address &addr) const
+{
+    return bank(addr).open_row;
+}
+
+RowStatus
+DramChannel::rowStatus(const Address &addr) const
+{
+    const auto &b = bank(addr);
+    if (b.open_row == kNoRow)
+        return RowStatus::kEmpty;
+    return b.open_row == static_cast<std::int32_t>(addr.row)
+               ? RowStatus::kHit
+               : RowStatus::kConflict;
+}
+
+bool
+DramChannel::allBanksClosed(std::uint32_t rank) const
+{
+    const auto per_rank = cfg_.org.banksPerRank();
+    for (std::uint32_t i = 0; i < per_rank; ++i) {
+        if (banks_[rank * per_rank + i].open_row != kNoRow)
+            return false;
+    }
+    return true;
+}
+
+bool
+DramChannel::sameBankClosed(std::uint32_t rank, std::uint32_t bank_idx) const
+{
+    for (std::uint32_t bg = 0; bg < cfg_.org.bankgroups; ++bg) {
+        if (banks_[cfg_.org.flatBank(rank, bg, bank_idx)].open_row != kNoRow)
+            return false;
+    }
+    return true;
+}
+
+Tick
+DramChannel::earliestIssue(Command cmd, const Address &addr) const
+{
+    const auto &b = bank(addr);
+    const auto &g = group(addr);
+    const auto &r = ranks_[addr.rank];
+    const Timing &t = cfg_.timing;
+
+    switch (cmd) {
+      case Command::kAct: {
+        Tick earliest = std::max({b.next_act, g.next_act, r.next_act,
+                                  r.busy_until});
+        // Four-activate window: the 4th-oldest ACT bounds the next one
+        // (only once four activations have actually happened).
+        if (r.acts_seen >= r.act_window.size()) {
+            const Tick oldest = r.act_window[r.act_window_pos];
+            earliest = std::max(earliest, oldest + t.tFAW);
+        }
+        return earliest;
+      }
+      case Command::kPre:
+        return std::max(b.next_pre, r.busy_until);
+      case Command::kPreAll: {
+        Tick earliest = r.busy_until;
+        const auto per_rank = cfg_.org.banksPerRank();
+        for (std::uint32_t i = 0; i < per_rank; ++i) {
+            const auto &bs = banks_[addr.rank * per_rank + i];
+            if (bs.open_row != kNoRow)
+                earliest = std::max(earliest, bs.next_pre);
+        }
+        return earliest;
+      }
+      case Command::kRd:
+        return std::max({b.next_rd, g.next_rd, chan_next_rd_,
+                         r.busy_until});
+      case Command::kWr:
+        return std::max({b.next_wr, g.next_wr, chan_next_wr_,
+                         r.busy_until});
+      case Command::kRef:
+      case Command::kRfmAll: {
+        Tick earliest = r.busy_until;
+        const auto per_rank = cfg_.org.banksPerRank();
+        for (std::uint32_t i = 0; i < per_rank; ++i)
+            earliest = std::max(earliest,
+                                banks_[addr.rank * per_rank + i].closed_at);
+        return earliest;
+      }
+      case Command::kRfmSameBank: {
+        Tick earliest = r.busy_until;
+        for (std::uint32_t bg = 0; bg < cfg_.org.bankgroups; ++bg) {
+            const auto &bs =
+                banks_[cfg_.org.flatBank(addr.rank, bg, addr.bank)];
+            earliest = std::max(earliest, bs.closed_at);
+        }
+        return earliest;
+      }
+      case Command::kRfmOneBank:
+        return std::max(r.busy_until, b.closed_at);
+    }
+    sim::panic("unknown command");
+}
+
+Tick
+DramChannel::issue(Command cmd, const Address &addr, Tick now,
+                   Tick rfm_latency, bool during_backoff)
+{
+    LEAKY_ASSERT(now >= earliestIssue(cmd, addr),
+                 "%s to %s violates timing (now=%llu, earliest=%llu)",
+                 commandName(cmd), addr.str().c_str(),
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(earliestIssue(cmd, addr)));
+    cmd_counts_[static_cast<std::size_t>(cmd)] += 1;
+
+    switch (cmd) {
+      case Command::kAct:
+        issueAct(addr, now);
+        return now;
+      case Command::kPre:
+        issuePre(addr, now);
+        return now + cfg_.timing.tRP;
+      case Command::kPreAll:
+        issuePreAll(addr.rank, now);
+        return now + cfg_.timing.tRP;
+      case Command::kRd:
+        return issueRead(addr, now);
+      case Command::kWr:
+        return issueWrite(addr, now);
+      case Command::kRef:
+        return issueRefresh(addr.rank, now);
+      case Command::kRfmAll:
+      case Command::kRfmSameBank:
+      case Command::kRfmOneBank:
+        return issueRfm(cmd, addr, now,
+                        rfm_latency ? rfm_latency : cfg_.timing.tRFM,
+                        during_backoff);
+    }
+    sim::panic("unknown command");
+}
+
+void
+DramChannel::issueAct(const Address &addr, Tick now)
+{
+    auto &b = bank(addr);
+    LEAKY_ASSERT(b.open_row == kNoRow, "ACT to open bank %s",
+                 addr.str().c_str());
+    const Timing &t = cfg_.timing;
+
+    b.open_row = static_cast<std::int32_t>(addr.row);
+    bump(b.next_rd, now + t.tRCD);
+    bump(b.next_wr, now + t.tRCD);
+    bump(b.next_pre, now + t.tRAS);
+    bump(b.next_act, now + t.tRC);
+    b.closed_at = sim::kTickMax; // open bank is never REF-ready
+
+    bump(group(addr).next_act, now + t.tRRD_L);
+    auto &r = ranks_[addr.rank];
+    bump(r.next_act, now + t.tRRD_S);
+    r.act_window[r.act_window_pos] = now;
+    r.act_window_pos = (r.act_window_pos + 1) % r.act_window.size();
+    r.acts_seen += 1;
+
+    hooks_->onActivate(addr, now);
+}
+
+void
+DramChannel::issuePre(const Address &addr, Tick now)
+{
+    auto &b = bank(addr);
+    LEAKY_ASSERT(b.open_row != kNoRow, "PRE to closed bank %s",
+                 addr.str().c_str());
+    Address closing = addr;
+    closing.row = static_cast<std::uint32_t>(b.open_row);
+
+    b.open_row = kNoRow;
+    b.closed_at = now + cfg_.timing.tRP;
+    bump(b.next_act, now + cfg_.timing.tRP);
+
+    hooks_->onPrecharge(closing, now);
+}
+
+void
+DramChannel::issuePreAll(std::uint32_t rank, Tick now)
+{
+    const auto per_rank = cfg_.org.banksPerRank();
+    for (std::uint32_t i = 0; i < per_rank; ++i) {
+        auto &b = banks_[rank * per_rank + i];
+        if (b.open_row == kNoRow)
+            continue;
+        Address closing;
+        closing.rank = rank;
+        closing.bankgroup = i / cfg_.org.banks_per_group;
+        closing.bank = i % cfg_.org.banks_per_group;
+        closing.row = static_cast<std::uint32_t>(b.open_row);
+        b.open_row = kNoRow;
+        b.closed_at = now + cfg_.timing.tRP;
+        bump(b.next_act, now + cfg_.timing.tRP);
+        hooks_->onPrecharge(closing, now);
+    }
+}
+
+Tick
+DramChannel::issueRead(const Address &addr, Tick now)
+{
+    auto &b = bank(addr);
+    LEAKY_ASSERT(b.open_row == static_cast<std::int32_t>(addr.row),
+                 "RD to wrong/closed row in %s", addr.str().c_str());
+    const Timing &t = cfg_.timing;
+
+    bump(b.next_pre, now + t.tRTP);
+    bump(group(addr).next_rd, now + t.tCCD_L);
+    bump(group(addr).next_wr, now + t.tCCD_L);
+    bump(chan_next_rd_, now + t.tCCD_S);
+    // Read-to-write turnaround: WR may not collide with the read burst.
+    bump(chan_next_wr_, now + t.tCCD_S + t.tRTW);
+    return now + t.tCL + t.tBURST;
+}
+
+Tick
+DramChannel::issueWrite(const Address &addr, Tick now)
+{
+    auto &b = bank(addr);
+    LEAKY_ASSERT(b.open_row == static_cast<std::int32_t>(addr.row),
+                 "WR to wrong/closed row in %s", addr.str().c_str());
+    const Timing &t = cfg_.timing;
+
+    const Tick burst_end = now + t.tCWL + t.tBURST;
+    bump(b.next_pre, burst_end + t.tWR);
+    bump(b.next_rd, burst_end + t.tWTR);
+    bump(group(addr).next_rd, burst_end + t.tWTR);
+    bump(group(addr).next_wr, now + t.tCCD_L);
+    bump(chan_next_wr_, now + t.tCCD_S);
+    bump(chan_next_rd_, burst_end + t.tWTR);
+    return burst_end;
+}
+
+Tick
+DramChannel::issueRefresh(std::uint32_t rank, Tick now)
+{
+    LEAKY_ASSERT(allBanksClosed(rank), "REF with open banks on rank %u",
+                 rank);
+    auto &r = ranks_[rank];
+    r.busy_until = now + cfg_.timing.tRFC;
+    hooks_->onRefresh(rank, now);
+    return r.busy_until;
+}
+
+Tick
+DramChannel::issueRfm(Command kind, const Address &addr, Tick now,
+                      Tick latency, bool during_backoff)
+{
+    auto &r = ranks_[addr.rank];
+    if (kind == Command::kRfmAll) {
+        LEAKY_ASSERT(allBanksClosed(addr.rank),
+                     "RFMab with open banks on rank %u", addr.rank);
+        r.busy_until = now + latency;
+    } else if (kind == Command::kRfmOneBank) {
+        auto &b = bank(addr);
+        LEAKY_ASSERT(b.open_row == kNoRow,
+                     "RFMpb with open target bank %s", addr.str().c_str());
+        bump(b.next_act, now + latency);
+        bump(b.closed_at, now + latency);
+    } else {
+        LEAKY_ASSERT(sameBankClosed(addr.rank, addr.bank),
+                     "RFMsb with open target banks on rank %u", addr.rank);
+        // Block the addressed bank in every bank group.
+        for (std::uint32_t bg = 0; bg < cfg_.org.bankgroups; ++bg) {
+            auto &b = banks_[cfg_.org.flatBank(addr.rank, bg, addr.bank)];
+            bump(b.next_act, now + latency);
+            bump(b.closed_at, now + latency);
+        }
+    }
+    hooks_->onRfm(kind, addr, during_backoff, now);
+    return now + latency;
+}
+
+std::uint64_t
+DramChannel::commandCount(Command cmd) const
+{
+    return cmd_counts_[static_cast<std::size_t>(cmd)];
+}
+
+} // namespace leaky::dram

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cycle-level model of one DRAM channel: per-bank row-buffer state
+ * machines plus JEDEC-style timing enforcement (tRCD/tRP/tRAS/tRC,
+ * tRRD/tFAW, tCCD, read/write turnaround, tRFC/tRFM busy windows).
+ *
+ * The channel is passive: the memory controller queries earliestIssue()
+ * and calls issue(). Device-side defenses observe commands through the
+ * DeviceHooks interface (dram/hooks.hh).
+ */
+
+#ifndef LEAKY_DRAM_CHANNEL_HH
+#define LEAKY_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/config.hh"
+#include "dram/hooks.hh"
+#include "dram/types.hh"
+#include "sim/tick.hh"
+
+namespace leaky::dram {
+
+/** Row-buffer status of an access, as the scheduler classifies it. */
+enum class RowStatus : std::uint8_t { kHit, kEmpty, kConflict };
+
+/** One DRAM channel (all ranks/banks behind one command/data bus). */
+class DramChannel
+{
+  public:
+    static constexpr std::int32_t kNoRow = -1;
+
+    explicit DramChannel(const DramConfig &cfg);
+
+    /** Install device-side defense hooks (may be null for none). */
+    void setHooks(DeviceHooks *hooks) { hooks_ = hooks; }
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Currently open row of a bank, or kNoRow. */
+    std::int32_t openRow(const Address &addr) const;
+
+    /** Classify an access against the current row-buffer state. */
+    RowStatus rowStatus(const Address &addr) const;
+
+    /** True when every bank of @p rank is precharged. */
+    bool allBanksClosed(std::uint32_t rank) const;
+
+    /** True when bank @p bank_idx (within-group index) is closed in all
+     * bank groups of @p rank (precondition for RFMsb). */
+    bool sameBankClosed(std::uint32_t rank, std::uint32_t bank_idx) const;
+
+    /**
+     * Earliest tick at which @p cmd to @p addr satisfies all timing
+     * constraints. Does not check row-state preconditions (e.g., that a
+     * RD targets the open row) -- the controller guarantees those.
+     */
+    Tick earliestIssue(Command cmd, const Address &addr) const;
+
+    /**
+     * Execute a command at tick @p now (must be >= earliestIssue).
+     * For kRd/kWr, returns the tick at which the data burst completes;
+     * for other commands returns the end of their busy window.
+     * @p rfm_latency overrides the RFM window length (used for the
+     * shorter/longer RFMs of back-off recovery and the Fig. 12 latency
+     * sweep); 0 selects the config default.
+     * @p during_backoff is forwarded to the defense hooks for RFMs.
+     */
+    Tick issue(Command cmd, const Address &addr, Tick now,
+               Tick rfm_latency = 0, bool during_backoff = false);
+
+    /** Number of commands issued, by command kind (for stats/tests). */
+    std::uint64_t commandCount(Command cmd) const;
+
+  private:
+    struct BankState {
+        std::int32_t open_row = kNoRow;
+        Tick next_act = 0;
+        Tick next_pre = 0;
+        Tick next_rd = 0;
+        Tick next_wr = 0;
+        /** Earliest tick the bank counts as fully precharged (for
+         *  REF/RFM preconditions). */
+        Tick closed_at = 0;
+    };
+
+    struct GroupState {
+        Tick next_act = 0;  // tRRD_L
+        Tick next_rd = 0;   // tCCD_L
+        Tick next_wr = 0;
+    };
+
+    struct RankState {
+        Tick next_act = 0;  // tRRD_S
+        Tick busy_until = 0; // REF / RFMab window.
+        std::vector<Tick> act_window; // last tFAW activations (ring).
+        std::size_t act_window_pos = 0;
+        std::uint64_t acts_seen = 0; // tFAW applies from the 4th ACT on.
+    };
+
+    BankState &bank(const Address &a);
+    const BankState &bank(const Address &a) const;
+    GroupState &group(const Address &a);
+    const GroupState &group(const Address &a) const;
+
+    static void bump(Tick &slot, Tick value);
+
+    void issueAct(const Address &addr, Tick now);
+    void issuePre(const Address &addr, Tick now);
+    void issuePreAll(std::uint32_t rank, Tick now);
+    Tick issueRead(const Address &addr, Tick now);
+    Tick issueWrite(const Address &addr, Tick now);
+    Tick issueRefresh(std::uint32_t rank, Tick now);
+    Tick issueRfm(Command kind, const Address &addr, Tick now,
+                  Tick latency, bool during_backoff);
+
+    DramConfig cfg_;
+    DeviceHooks *hooks_;
+    NullDeviceHooks null_hooks_;
+
+    std::vector<BankState> banks_;   // [rank][bg][bank] flattened.
+    std::vector<GroupState> groups_; // [rank][bg] flattened.
+    std::vector<RankState> ranks_;
+
+    // Channel-wide data-bus constraints.
+    Tick chan_next_rd_ = 0;
+    Tick chan_next_wr_ = 0;
+
+    std::vector<std::uint64_t> cmd_counts_;
+};
+
+} // namespace leaky::dram
+
+#endif // LEAKY_DRAM_CHANNEL_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DRAM organisation and timing configuration. Defaults model the paper's
+ * evaluated system (Table 1): DDR5, 1 channel, 2 ranks, 8 bank groups x
+ * 4 banks, 128K rows per bank, with JEDEC DDR5-like timing and the
+ * PRAC/RFM latencies quoted in the paper (back-off 1400 ns total,
+ * standalone RFM 295 ns, tABOACT 180 ns, alert delay ~5 ns).
+ */
+
+#ifndef LEAKY_DRAM_CONFIG_HH
+#define LEAKY_DRAM_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/tick.hh"
+
+namespace leaky::dram {
+
+using sim::Tick;
+
+/** Geometry of one memory channel. */
+struct Organization {
+    std::uint32_t ranks = 2;
+    std::uint32_t bankgroups = 8;
+    std::uint32_t banks_per_group = 4; ///< Banks within one bank group.
+    std::uint32_t rows = 128 * 1024;   ///< Rows per bank.
+    std::uint32_t columns = 128;       ///< Cache lines per row (8 KB row).
+
+    std::uint32_t banksPerRank() const { return bankgroups * banks_per_group; }
+    std::uint32_t totalBanks() const { return ranks * banksPerRank(); }
+
+    /** Flat bank index within the channel. */
+    std::uint32_t
+    flatBank(std::uint32_t rank, std::uint32_t bg, std::uint32_t bank) const
+    {
+        return (rank * bankgroups + bg) * banks_per_group + bank;
+    }
+};
+
+/** Timing parameters in ticks (picoseconds). */
+struct Timing {
+    Tick tCK = 416;            ///< DDR5-4800 clock period.
+    Tick tRCD = 16'000;        ///< ACT -> RD/WR.
+    Tick tRP = 16'000;         ///< PRE -> ACT.
+    Tick tRAS = 32'000;        ///< ACT -> PRE (same bank).
+    Tick tRC = 48'000;         ///< ACT -> ACT (same bank) = tRAS + tRP.
+    Tick tCL = 16'000;         ///< RD -> first data.
+    Tick tCWL = 14'000;        ///< WR -> first data.
+    Tick tBURST = 3'328;       ///< 8 tCK burst (BL16, DDR).
+    Tick tCCD_S = 3'328;       ///< RD->RD / WR->WR, different bank group.
+    Tick tCCD_L = 5'000;       ///< RD->RD / WR->WR, same bank group.
+    Tick tRRD_S = 3'328;       ///< ACT->ACT, different bank group.
+    Tick tRRD_L = 5'000;       ///< ACT->ACT, same bank group.
+    Tick tFAW = 13'333;        ///< Four-activate window per rank.
+    Tick tRTP = 7'500;         ///< RD -> PRE.
+    Tick tWR = 30'000;         ///< End of write burst -> PRE.
+    Tick tWTR = 10'000;        ///< End of write burst -> RD.
+    Tick tRTW = 4'000;         ///< RD command -> WR command extra gap.
+    Tick tRFC = 295'000;       ///< REF busy window (16 Gb device).
+    Tick tREFI = 3'900'000;    ///< Refresh interval (DDR5, normal temp).
+    Tick tRFM = 295'000;       ///< Standalone RFM window (PRFM).
+    Tick tRFM_backoff = 305'000; ///< Per-RFM window during PRAC back-off.
+    Tick tABOACT = 180'000;    ///< Normal-traffic window after alert.
+    Tick tAlert = 5'000;       ///< PRE -> alert visible at the controller.
+    Tick tABOCooldown = 250'000; ///< Min gap between alert assertions.
+};
+
+/** Full per-channel configuration. */
+struct DramConfig {
+    Organization org;
+    Timing timing;
+
+    /** Paper Table 1 system: DDR5, 2 ranks, 8x4 banks, 128K rows. */
+    static DramConfig
+    ddr5Paper()
+    {
+        return DramConfig{};
+    }
+};
+
+} // namespace leaky::dram
+
+#endif // LEAKY_DRAM_CONFIG_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Interfaces connecting the DRAM device model to device-side RowHammer
+ * defenses (the PRAC family lives behind DeviceHooks) and to the memory
+ * controller's alert pin (AlertSink). Defined here, on neutral ground,
+ * so neither the defense library nor the controller depends on the other
+ * at the interface level.
+ */
+
+#ifndef LEAKY_DRAM_HOOKS_HH
+#define LEAKY_DRAM_HOOKS_HH
+
+#include "dram/types.hh"
+#include "sim/tick.hh"
+
+namespace leaky::dram {
+
+using sim::Tick;
+
+/** Information carried by an ABO (alert back-off) assertion. */
+struct AlertInfo {
+    Tick asserted_at = 0; ///< When the device raised the pin.
+    bool bank_scoped = false; ///< Bank-Level PRAC: back-off one bank only.
+    Address bank; ///< Valid when bank_scoped (rank/bankgroup/bank fields).
+};
+
+/** Receiver of device alert assertions (implemented by the controller). */
+class AlertSink
+{
+  public:
+    virtual ~AlertSink() = default;
+
+    /** The device asserted ABO; the controller must start a back-off. */
+    virtual void raiseAlert(const AlertInfo &info) = 0;
+};
+
+/**
+ * Device-side observation points. A defense implementing this interface
+ * sees every command the device executes and may raise alerts through an
+ * AlertSink it was constructed with.
+ */
+class DeviceHooks
+{
+  public:
+    virtual ~DeviceHooks() = default;
+
+    /** A row was activated. */
+    virtual void onActivate(const Address &addr, Tick now) = 0;
+
+    /**
+     * A row is being closed (PRE or PREab); PRAC increments the row's
+     * activation counter at this point (paper §6.1).
+     */
+    virtual void onPrecharge(const Address &addr, Tick now) = 0;
+
+    /** An all-bank periodic refresh started on @p rank. */
+    virtual void onRefresh(std::uint32_t rank, Tick now) = 0;
+
+    /**
+     * An RFM window started. For kRfmAll, @p addr identifies the rank;
+     * for kRfmSameBank it also carries the bank index. @p during_backoff
+     * distinguishes recovery RFMs (which service the highest activation
+     * counters) from regular PRFM/FR-RFM RFMs.
+     */
+    virtual void onRfm(Command kind, const Address &addr, bool during_backoff,
+                       Tick now) = 0;
+};
+
+/** No-op hooks used when no device-side defense is configured. */
+class NullDeviceHooks final : public DeviceHooks
+{
+  public:
+    void onActivate(const Address &, Tick) override {}
+    void onPrecharge(const Address &, Tick) override {}
+    void onRefresh(std::uint32_t, Tick) override {}
+    void onRfm(Command, const Address &, bool, Tick) override {}
+};
+
+} // namespace leaky::dram
+
+#endif // LEAKY_DRAM_HOOKS_HH

@@ -1,0 +1,33 @@
+#include "dram/types.hh"
+
+#include <cstdio>
+
+namespace leaky::dram {
+
+const char *
+commandName(Command cmd)
+{
+    switch (cmd) {
+      case Command::kAct: return "ACT";
+      case Command::kPre: return "PRE";
+      case Command::kPreAll: return "PREab";
+      case Command::kRd: return "RD";
+      case Command::kWr: return "WR";
+      case Command::kRef: return "REF";
+      case Command::kRfmAll: return "RFMab";
+      case Command::kRfmSameBank: return "RFMsb";
+      case Command::kRfmOneBank: return "RFMpb";
+    }
+    return "?";
+}
+
+std::string
+Address::str() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "ch%u.ra%u.bg%u.ba%u.row%u.col%u",
+                  channel, rank, bankgroup, bank, row, column);
+    return buf;
+}
+
+} // namespace leaky::dram

@@ -1,0 +1,49 @@
+#include "ml/classifier.hh"
+
+#include "ml/ensemble.hh"
+#include "ml/linear.hh"
+#include "ml/tree.hh"
+
+namespace leaky::ml {
+
+std::vector<std::unique_ptr<Classifier>>
+makeFig10Models(std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<Classifier>> models;
+
+    TreeConfig dt;
+    dt.max_depth = 12; // Regularised: fingerprint features are noisy.
+    dt.min_samples_split = 6;
+    dt.seed = seed;
+    models.push_back(std::make_unique<DecisionTree>(dt));
+
+    ForestConfig rf;
+    rf.seed = seed + 1;
+    models.push_back(std::make_unique<RandomForest>(rf));
+
+    BoostConfig gb;
+    gb.seed = seed + 2;
+    models.push_back(std::make_unique<GradientBoosting>(gb));
+
+    models.push_back(std::make_unique<KNearestNeighbors>(5));
+
+    LinearConfig svm;
+    svm.seed = seed + 3;
+    models.push_back(std::make_unique<LinearSvm>(svm));
+
+    LinearConfig lr;
+    lr.seed = seed + 4;
+    models.push_back(std::make_unique<LogisticRegression>(lr));
+
+    AdaBoostConfig ada;
+    ada.seed = seed + 5;
+    models.push_back(std::make_unique<AdaBoost>(ada));
+
+    LinearConfig perc;
+    perc.seed = seed + 6;
+    models.push_back(std::make_unique<Perceptron>(perc));
+
+    return models;
+}
+
+} // namespace leaky::ml

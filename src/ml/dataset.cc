@@ -1,0 +1,133 @@
+#include "ml/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace leaky::ml {
+
+Dataset
+Dataset::select(const std::vector<std::size_t> &indices) const
+{
+    Dataset out;
+    out.n_classes = n_classes;
+    for (auto i : indices) {
+        out.x.push_back(x[i]);
+        out.y.push_back(y[i]);
+    }
+    return out;
+}
+
+namespace {
+
+/** Per-class index lists, each shuffled deterministically. */
+std::vector<std::vector<std::size_t>>
+classIndices(const Dataset &data, std::uint64_t seed)
+{
+    std::vector<std::vector<std::size_t>> by_class(
+        static_cast<std::size_t>(data.n_classes));
+    for (std::size_t i = 0; i < data.size(); ++i)
+        by_class[static_cast<std::size_t>(data.y[i])].push_back(i);
+    sim::Rng rng(seed);
+    for (auto &indices : by_class) {
+        for (std::size_t i = indices.size(); i > 1; --i)
+            std::swap(indices[i - 1], indices[rng.below(i)]);
+    }
+    return by_class;
+}
+
+} // namespace
+
+Split
+stratifiedSplit(const Dataset &data, double test_fraction,
+                std::uint64_t seed)
+{
+    LEAKY_ASSERT(test_fraction > 0.0 && test_fraction < 1.0,
+                 "test fraction must be in (0, 1)");
+    std::vector<std::size_t> train_idx;
+    std::vector<std::size_t> test_idx;
+    for (const auto &indices : classIndices(data, seed)) {
+        const auto n_test = static_cast<std::size_t>(
+            std::ceil(static_cast<double>(indices.size()) *
+                      test_fraction));
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+            (i < n_test ? test_idx : train_idx).push_back(indices[i]);
+        }
+    }
+    return {data.select(train_idx), data.select(test_idx)};
+}
+
+std::vector<Split>
+kFold(const Dataset &data, std::uint32_t folds, std::uint64_t seed)
+{
+    LEAKY_ASSERT(folds >= 2, "need at least two folds");
+    const auto by_class = classIndices(data, seed);
+    std::vector<std::vector<std::size_t>> fold_idx(folds);
+    for (const auto &indices : by_class) {
+        for (std::size_t i = 0; i < indices.size(); ++i)
+            fold_idx[i % folds].push_back(indices[i]);
+    }
+    std::vector<Split> splits;
+    for (std::uint32_t f = 0; f < folds; ++f) {
+        std::vector<std::size_t> train_idx;
+        for (std::uint32_t g = 0; g < folds; ++g) {
+            if (g == f)
+                continue;
+            train_idx.insert(train_idx.end(), fold_idx[g].begin(),
+                             fold_idx[g].end());
+        }
+        splits.push_back(
+            {data.select(train_idx), data.select(fold_idx[f])});
+    }
+    return splits;
+}
+
+void
+Standardizer::fit(const Dataset &data)
+{
+    LEAKY_ASSERT(data.size() > 0, "cannot fit on empty data");
+    const auto n_features = data.features();
+    mean_.assign(n_features, 0.0);
+    stddev_.assign(n_features, 0.0);
+    for (const auto &row : data.x) {
+        for (std::size_t f = 0; f < n_features; ++f)
+            mean_[f] += row[f];
+    }
+    for (auto &m : mean_)
+        m /= static_cast<double>(data.size());
+    for (const auto &row : data.x) {
+        for (std::size_t f = 0; f < n_features; ++f) {
+            const double d = row[f] - mean_[f];
+            stddev_[f] += d * d;
+        }
+    }
+    for (auto &s : stddev_) {
+        s = std::sqrt(s / static_cast<double>(data.size()));
+        if (s < 1e-12)
+            s = 1.0;
+    }
+}
+
+std::vector<double>
+Standardizer::apply(const std::vector<double> &row) const
+{
+    std::vector<double> out(row.size());
+    for (std::size_t f = 0; f < row.size(); ++f)
+        out[f] = (row[f] - mean_[f]) / stddev_[f];
+    return out;
+}
+
+Dataset
+Standardizer::apply(const Dataset &data) const
+{
+    Dataset out;
+    out.n_classes = data.n_classes;
+    out.y = data.y;
+    out.x.reserve(data.size());
+    for (const auto &row : data.x)
+        out.x.push_back(apply(row));
+    return out;
+}
+
+} // namespace leaky::ml

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal dataset handling for the website-fingerprinting classifiers
+ * (paper §8): feature matrices with integer labels, deterministic
+ * shuffling, stratified train/test splits and k-fold cross-validation,
+ * and z-score standardisation (fitted on training data only).
+ */
+
+#ifndef LEAKY_ML_DATASET_HH
+#define LEAKY_ML_DATASET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace leaky::ml {
+
+/** Labelled feature matrix. */
+struct Dataset {
+    std::vector<std::vector<double>> x;
+    std::vector<int> y;
+    int n_classes = 0;
+
+    std::size_t size() const { return x.size(); }
+    std::size_t features() const { return x.empty() ? 0 : x[0].size(); }
+
+    void
+    add(std::vector<double> row, int label)
+    {
+        x.push_back(std::move(row));
+        y.push_back(label);
+        if (label + 1 > n_classes)
+            n_classes = label + 1;
+    }
+
+    /** Subset by indices (keeps n_classes). */
+    Dataset select(const std::vector<std::size_t> &indices) const;
+};
+
+/** One train/test partition. */
+struct Split {
+    Dataset train;
+    Dataset test;
+};
+
+/** Deterministic stratified train/test split. */
+Split stratifiedSplit(const Dataset &data, double test_fraction,
+                      std::uint64_t seed);
+
+/** Stratified k-fold partitions (fold i is the test set of split i). */
+std::vector<Split> kFold(const Dataset &data, std::uint32_t folds,
+                         std::uint64_t seed);
+
+/** Z-score standardiser (fit on train, apply to both). */
+class Standardizer
+{
+  public:
+    void fit(const Dataset &data);
+    std::vector<double> apply(const std::vector<double> &row) const;
+    Dataset apply(const Dataset &data) const;
+
+  private:
+    std::vector<double> mean_;
+    std::vector<double> stddev_;
+};
+
+} // namespace leaky::ml
+
+#endif // LEAKY_ML_DATASET_HH

@@ -1,0 +1,156 @@
+#include "ml/metrics.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace leaky::ml {
+
+ConfusionMatrix::ConfusionMatrix(int n_classes)
+    : n_classes_(n_classes),
+      cells_(static_cast<std::size_t>(n_classes) *
+                 static_cast<std::size_t>(n_classes),
+             0)
+{
+    LEAKY_ASSERT(n_classes > 0, "need at least one class");
+}
+
+void
+ConfusionMatrix::add(int truth, int predicted)
+{
+    LEAKY_ASSERT(truth >= 0 && truth < n_classes_ && predicted >= 0 &&
+                     predicted < n_classes_,
+                 "label out of range");
+    cells_[static_cast<std::size_t>(truth) *
+               static_cast<std::size_t>(n_classes_) +
+           static_cast<std::size_t>(predicted)] += 1;
+    total_ += 1;
+    if (truth == predicted)
+        correct_ += 1;
+}
+
+std::uint64_t
+ConfusionMatrix::count(int truth, int predicted) const
+{
+    return cells_[static_cast<std::size_t>(truth) *
+                      static_cast<std::size_t>(n_classes_) +
+                  static_cast<std::size_t>(predicted)];
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    return total_ ? static_cast<double>(correct_) /
+                        static_cast<double>(total_)
+                  : 0.0;
+}
+
+double
+ConfusionMatrix::macroPrecision() const
+{
+    double sum = 0.0;
+    for (int c = 0; c < n_classes_; ++c) {
+        std::uint64_t tp = count(c, c);
+        std::uint64_t predicted = 0;
+        for (int t = 0; t < n_classes_; ++t)
+            predicted += count(t, c);
+        sum += predicted ? static_cast<double>(tp) /
+                               static_cast<double>(predicted)
+                         : 0.0;
+    }
+    return sum / static_cast<double>(n_classes_);
+}
+
+double
+ConfusionMatrix::macroRecall() const
+{
+    double sum = 0.0;
+    for (int c = 0; c < n_classes_; ++c) {
+        std::uint64_t tp = count(c, c);
+        std::uint64_t actual = 0;
+        for (int p = 0; p < n_classes_; ++p)
+            actual += count(c, p);
+        sum += actual ? static_cast<double>(tp) /
+                            static_cast<double>(actual)
+                      : 0.0;
+    }
+    return sum / static_cast<double>(n_classes_);
+}
+
+double
+ConfusionMatrix::macroF1() const
+{
+    double sum = 0.0;
+    for (int c = 0; c < n_classes_; ++c) {
+        std::uint64_t tp = count(c, c);
+        std::uint64_t predicted = 0;
+        std::uint64_t actual = 0;
+        for (int t = 0; t < n_classes_; ++t) {
+            predicted += count(t, c);
+            actual += count(c, t);
+        }
+        const double p = predicted ? static_cast<double>(tp) /
+                                         static_cast<double>(predicted)
+                                   : 0.0;
+        const double r = actual ? static_cast<double>(tp) /
+                                      static_cast<double>(actual)
+                                : 0.0;
+        sum += p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+    }
+    return sum / static_cast<double>(n_classes_);
+}
+
+ConfusionMatrix
+evaluate(const Classifier &model, const Dataset &test)
+{
+    ConfusionMatrix cm(test.n_classes);
+    for (std::size_t i = 0; i < test.size(); ++i)
+        cm.add(test.y[i], model.predict(test.x[i]));
+    return cm;
+}
+
+namespace {
+
+CrossValScore
+summarize(const std::vector<double> &scores)
+{
+    double sum = 0.0;
+    for (double s : scores)
+        sum += s;
+    const double mean = sum / static_cast<double>(scores.size());
+    double var = 0.0;
+    for (double s : scores)
+        var += (s - mean) * (s - mean);
+    var /= static_cast<double>(scores.size());
+    return {mean, std::sqrt(var)};
+}
+
+} // namespace
+
+CrossValResult
+crossValidate(const std::function<std::unique_ptr<Classifier>()> &make_model,
+              const Dataset &data, std::uint32_t folds, std::uint64_t seed)
+{
+    std::vector<double> acc;
+    std::vector<double> f1;
+    std::vector<double> precision;
+    std::vector<double> recall;
+    for (const auto &split : kFold(data, folds, seed)) {
+        auto model = make_model();
+        model->fit(split.train);
+        const auto cm = evaluate(*model, split.test);
+        acc.push_back(cm.accuracy());
+        f1.push_back(cm.macroF1());
+        precision.push_back(cm.macroPrecision());
+        recall.push_back(cm.macroRecall());
+    }
+    CrossValResult result;
+    result.accuracy = summarize(acc);
+    result.f1 = summarize(f1);
+    result.precision = summarize(precision);
+    result.recall = summarize(recall);
+    result.folds = folds;
+    return result;
+}
+
+} // namespace leaky::ml

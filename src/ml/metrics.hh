@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Classification metrics (paper Table 2): accuracy, confusion matrix,
+ * macro-averaged precision/recall/F1, and a k-fold cross-validation
+ * driver reporting per-fold mean and standard deviation.
+ */
+
+#ifndef LEAKY_ML_METRICS_HH
+#define LEAKY_ML_METRICS_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.hh"
+
+namespace leaky::ml {
+
+/** Counts of (true class, predicted class) pairs. */
+class ConfusionMatrix
+{
+  public:
+    explicit ConfusionMatrix(int n_classes);
+
+    void add(int truth, int predicted);
+
+    double accuracy() const;
+    double macroPrecision() const;
+    double macroRecall() const;
+    double macroF1() const;
+    std::uint64_t count(int truth, int predicted) const;
+    int classes() const { return n_classes_; }
+
+  private:
+    int n_classes_;
+    std::vector<std::uint64_t> cells_;
+    std::uint64_t total_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+/** Evaluate a fitted classifier on a test set. */
+ConfusionMatrix evaluate(const Classifier &model, const Dataset &test);
+
+/** Mean and standard deviation of per-fold scores. */
+struct CrossValScore {
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/** Per-fold cross-validation summary (paper Table 2 columns). */
+struct CrossValResult {
+    CrossValScore accuracy;
+    CrossValScore f1;
+    CrossValScore precision;
+    CrossValScore recall;
+    std::uint32_t folds = 0;
+};
+
+/**
+ * k-fold cross-validation: @p make_model builds a fresh classifier per
+ * fold (so folds never share state).
+ */
+CrossValResult
+crossValidate(const std::function<std::unique_ptr<Classifier>()> &make_model,
+              const Dataset &data, std::uint32_t folds,
+              std::uint64_t seed = 11);
+
+} // namespace leaky::ml
+
+#endif // LEAKY_ML_METRICS_HH

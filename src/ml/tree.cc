@@ -1,0 +1,274 @@
+#include "ml/tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace leaky::ml {
+
+DecisionTree::DecisionTree(const TreeConfig &cfg) : cfg_(cfg)
+{
+}
+
+void
+DecisionTree::fit(const Dataset &data)
+{
+    LEAKY_ASSERT(data.size() > 0, "empty training set");
+    nodes_.clear();
+    n_classes_ = data.n_classes;
+    std::vector<std::size_t> indices(data.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    sim::Rng rng(cfg_.seed);
+    build(data, indices, 0, indices.size(), 0, rng);
+}
+
+namespace {
+
+/** Gini impurity of class counts over n samples. */
+double
+gini(const std::vector<std::uint32_t> &counts, double n)
+{
+    double sum_sq = 0.0;
+    for (auto c : counts)
+        sum_sq += static_cast<double>(c) * static_cast<double>(c);
+    return 1.0 - sum_sq / (n * n);
+}
+
+int
+majority(const std::vector<std::uint32_t> &counts)
+{
+    return static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+} // namespace
+
+std::int32_t
+DecisionTree::build(const Dataset &data, std::vector<std::size_t> &indices,
+                    std::size_t begin, std::size_t end,
+                    std::uint32_t depth, sim::Rng &rng)
+{
+    const auto n = end - begin;
+    std::vector<std::uint32_t> counts(
+        static_cast<std::size_t>(n_classes_), 0);
+    for (std::size_t i = begin; i < end; ++i)
+        counts[static_cast<std::size_t>(data.y[indices[i]])] += 1;
+
+    const auto node_index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back({});
+    nodes_[static_cast<std::size_t>(node_index)].label = majority(counts);
+
+    const double parent_gini = gini(counts, static_cast<double>(n));
+    if (depth >= cfg_.max_depth || n < cfg_.min_samples_split ||
+        parent_gini <= 1e-12) {
+        return node_index;
+    }
+
+    // Candidate features (optionally a random subset, for forests).
+    const auto n_features = data.features();
+    std::vector<std::size_t> features(n_features);
+    std::iota(features.begin(), features.end(), 0);
+    std::size_t n_candidates = n_features;
+    if (cfg_.max_features > 0 && cfg_.max_features < n_features) {
+        for (std::size_t i = features.size(); i > 1; --i)
+            std::swap(features[i - 1], features[rng.below(i)]);
+        n_candidates = cfg_.max_features;
+    }
+
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_impurity = parent_gini;
+    std::vector<std::size_t> sorted(indices.begin() +
+                                        static_cast<std::ptrdiff_t>(begin),
+                                    indices.begin() +
+                                        static_cast<std::ptrdiff_t>(end));
+
+    for (std::size_t fi = 0; fi < n_candidates; ++fi) {
+        const auto f = features[fi];
+        std::sort(sorted.begin(), sorted.end(),
+                  [&data, f](std::size_t a, std::size_t b) {
+                      return data.x[a][f] < data.x[b][f];
+                  });
+        std::vector<std::uint32_t> left(counts.size(), 0);
+        std::vector<std::uint32_t> right = counts;
+        for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+            const auto cls =
+                static_cast<std::size_t>(data.y[sorted[i]]);
+            left[cls] += 1;
+            right[cls] -= 1;
+            const double lo = data.x[sorted[i]][f];
+            const double hi = data.x[sorted[i + 1]][f];
+            if (hi <= lo)
+                continue; // No split point between equal values.
+            const double nl = static_cast<double>(i + 1);
+            const double nr = static_cast<double>(sorted.size() - i - 1);
+            const double impurity =
+                (nl * gini(left, nl) + nr * gini(right, nr)) /
+                static_cast<double>(sorted.size());
+            if (impurity + 1e-12 < best_impurity) {
+                best_impurity = impurity;
+                best_feature = static_cast<int>(f);
+                best_threshold = (lo + hi) / 2.0;
+            }
+        }
+    }
+
+    if (best_feature < 0)
+        return node_index;
+
+    // Partition indices in place around the chosen split.
+    const auto mid_it = std::partition(
+        indices.begin() + static_cast<std::ptrdiff_t>(begin),
+        indices.begin() + static_cast<std::ptrdiff_t>(end),
+        [&data, best_feature, best_threshold](std::size_t i) {
+            return data.x[i][static_cast<std::size_t>(best_feature)] <=
+                   best_threshold;
+        });
+    const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+    if (mid == begin || mid == end)
+        return node_index;
+
+    nodes_[static_cast<std::size_t>(node_index)].feature = best_feature;
+    nodes_[static_cast<std::size_t>(node_index)].threshold =
+        best_threshold;
+    const auto left_child = build(data, indices, begin, mid, depth + 1,
+                                  rng);
+    nodes_[static_cast<std::size_t>(node_index)].left = left_child;
+    const auto right_child = build(data, indices, mid, end, depth + 1,
+                                   rng);
+    nodes_[static_cast<std::size_t>(node_index)].right = right_child;
+    return node_index;
+}
+
+int
+DecisionTree::predict(const std::vector<double> &row) const
+{
+    LEAKY_ASSERT(!nodes_.empty(), "predict before fit");
+    std::int32_t node = 0;
+    while (true) {
+        const Node &n = nodes_[static_cast<std::size_t>(node)];
+        if (n.feature < 0)
+            return n.label;
+        node = row[static_cast<std::size_t>(n.feature)] <= n.threshold
+                   ? n.left
+                   : n.right;
+    }
+}
+
+RegressionTree::RegressionTree(std::uint32_t max_depth,
+                               std::uint32_t min_samples_split)
+    : max_depth_(max_depth), min_samples_split_(min_samples_split)
+{
+}
+
+void
+RegressionTree::fit(const std::vector<std::vector<double>> &x,
+                    const std::vector<double> &targets,
+                    const std::vector<std::size_t> &indices)
+{
+    LEAKY_ASSERT(!indices.empty(), "empty regression fit");
+    nodes_.clear();
+    std::vector<std::size_t> work = indices;
+    build(x, targets, work, 0, work.size(), 0);
+}
+
+std::int32_t
+RegressionTree::build(const std::vector<std::vector<double>> &x,
+                      const std::vector<double> &targets,
+                      std::vector<std::size_t> &indices,
+                      std::size_t begin, std::size_t end,
+                      std::uint32_t depth)
+{
+    const auto n = end - begin;
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i)
+        sum += targets[indices[i]];
+    const double mean = sum / static_cast<double>(n);
+
+    const auto node_index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back({});
+    nodes_[static_cast<std::size_t>(node_index)].value = mean;
+    if (depth >= max_depth_ || n < min_samples_split_)
+        return node_index;
+
+    const auto n_features = x[indices[begin]].size();
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_score = -1e-12; // Required variance-reduction gain.
+
+    std::vector<std::size_t> sorted(indices.begin() +
+                                        static_cast<std::ptrdiff_t>(begin),
+                                    indices.begin() +
+                                        static_cast<std::ptrdiff_t>(end));
+    for (std::size_t f = 0; f < n_features; ++f) {
+        std::sort(sorted.begin(), sorted.end(),
+                  [&x, f](std::size_t a, std::size_t b) {
+                      return x[a][f] < x[b][f];
+                  });
+        double left_sum = 0.0;
+        for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+            left_sum += targets[sorted[i]];
+            const double lo = x[sorted[i]][f];
+            const double hi = x[sorted[i + 1]][f];
+            if (hi <= lo)
+                continue;
+            const double nl = static_cast<double>(i + 1);
+            const double nr = static_cast<double>(sorted.size() - i - 1);
+            const double right_sum = sum - left_sum;
+            // Maximising sum-of-squares of child means equals maximum
+            // variance reduction.
+            const double score = left_sum * left_sum / nl +
+                                 right_sum * right_sum / nr -
+                                 sum * sum / static_cast<double>(n);
+            if (score > best_score + 1e-12) {
+                best_score = score;
+                best_feature = static_cast<int>(f);
+                best_threshold = (lo + hi) / 2.0;
+            }
+        }
+    }
+    if (best_feature < 0)
+        return node_index;
+
+    const auto mid_it = std::partition(
+        indices.begin() + static_cast<std::ptrdiff_t>(begin),
+        indices.begin() + static_cast<std::ptrdiff_t>(end),
+        [&x, best_feature, best_threshold](std::size_t i) {
+            return x[i][static_cast<std::size_t>(best_feature)] <=
+                   best_threshold;
+        });
+    const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+    if (mid == begin || mid == end)
+        return node_index;
+
+    nodes_[static_cast<std::size_t>(node_index)].feature = best_feature;
+    nodes_[static_cast<std::size_t>(node_index)].threshold =
+        best_threshold;
+    const auto left_child =
+        build(x, targets, indices, begin, mid, depth + 1);
+    nodes_[static_cast<std::size_t>(node_index)].left = left_child;
+    const auto right_child =
+        build(x, targets, indices, mid, end, depth + 1);
+    nodes_[static_cast<std::size_t>(node_index)].right = right_child;
+    return node_index;
+}
+
+double
+RegressionTree::predict(const std::vector<double> &row) const
+{
+    LEAKY_ASSERT(!nodes_.empty(), "predict before fit");
+    std::int32_t node = 0;
+    while (true) {
+        const Node &n = nodes_[static_cast<std::size_t>(node)];
+        if (n.feature < 0)
+            return n.value;
+        node = row[static_cast<std::size_t>(n.feature)] <= n.threshold
+                   ? n.left
+                   : n.right;
+    }
+}
+
+} // namespace leaky::ml

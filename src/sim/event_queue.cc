@@ -1,0 +1,74 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace leaky::sim {
+
+EventHandle
+EventQueue::schedule(Tick when, Callback cb)
+{
+    LEAKY_ASSERT(when >= now_,
+                 "scheduling into the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(now_));
+    const EventHandle handle = next_seq_++;
+    heap_.push(Entry{when, handle, handle});
+    callbacks_.emplace(handle, std::move(cb));
+    return handle;
+}
+
+bool
+EventQueue::cancel(EventHandle handle)
+{
+    return callbacks_.erase(handle) > 0;
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty() &&
+           callbacks_.find(heap_.top().handle) == callbacks_.end()) {
+        heap_.pop();
+    }
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    skipDead();
+    return heap_.empty() ? kTickMax : heap_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    skipDead();
+    if (heap_.empty())
+        return false;
+
+    const Entry entry = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(entry.handle);
+    LEAKY_ASSERT(it != callbacks_.end(), "live event lost its callback");
+
+    now_ = entry.when;
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (nextEventTick() <= limit) {
+        if (!step())
+            break;
+    }
+    // All remaining events (if any) lie strictly after the limit, so the
+    // clock can safely advance to it.
+    if (limit != kTickMax && now_ < limit)
+        now_ = limit;
+}
+
+} // namespace leaky::sim

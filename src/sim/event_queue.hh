@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. Components schedule callbacks at
+ * absolute ticks; the queue executes them in (tick, insertion-order)
+ * order so simulations are fully deterministic. Scheduled events can be
+ * cancelled via the EventHandle returned by schedule().
+ */
+
+#ifndef LEAKY_SIM_EVENT_QUEUE_HH
+#define LEAKY_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/tick.hh"
+
+namespace leaky::sim {
+
+/** Identifier of a scheduled event, usable for cancellation. */
+using EventHandle = std::uint64_t;
+
+/** Sentinel handle meaning "no event". */
+inline constexpr EventHandle kNoEvent = 0;
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Events with equal ticks run in schedule order. Cancellation is lazy:
+ * cancelled entries stay in the heap and are skipped when popped.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** True when no live events remain. */
+    bool empty() const { return callbacks_.empty(); }
+
+    /** Number of live (non-cancelled, unexecuted) events. */
+    std::size_t size() const { return callbacks_.size(); }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when (>= now()).
+     * @return handle for cancel().
+     */
+    EventHandle schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventHandle
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was live and is now cancelled.
+     */
+    bool cancel(EventHandle handle);
+
+    /** Run a single event. @return false if the queue was empty. */
+    bool step();
+
+    /** Run until empty or until @p limit is reached (inclusive). */
+    void runUntil(Tick limit);
+
+    /** Run until the queue is empty. */
+    void run() { runUntil(kTickMax); }
+
+    /** Tick of the next live event, or kTickMax when empty. */
+    Tick nextEventTick() const;
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        EventHandle handle;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : seq > other.seq;
+        }
+    };
+
+    /** Pop dead (cancelled) entries off the heap top. */
+    void skipDead() const;
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 1;
+    mutable std::priority_queue<Entry, std::vector<Entry>,
+                                std::greater<Entry>> heap_;
+    std::unordered_map<EventHandle, Callback> callbacks_;
+};
+
+} // namespace leaky::sim
+
+#endif // LEAKY_SIM_EVENT_QUEUE_HH

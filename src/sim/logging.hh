@@ -1,0 +1,88 @@
+/**
+ * @file
+ * gem5-style status and error reporting. panic() flags simulator bugs
+ * (invariant violations) and aborts; fatal() flags user/configuration
+ * errors and exits cleanly; warn()/inform() print and continue.
+ */
+
+#ifndef LEAKY_SIM_LOGGING_HH
+#define LEAKY_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace leaky::sim {
+
+namespace detail {
+
+[[noreturn]] void terminate(const char *kind, const std::string &msg,
+                            bool core_dump);
+void emit(const char *kind, const std::string &msg);
+[[noreturn]] void assertFail(const char *cond, const std::string &msg);
+
+template <typename... Args>
+std::string
+format(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        const int n = std::snprintf(nullptr, 0, fmt,
+                                    std::forward<Args>(args)...);
+        std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+        if (n > 0)
+            std::snprintf(out.data(), out.size() + 1, fmt,
+                          std::forward<Args>(args)...);
+        return out;
+    }
+}
+
+} // namespace detail
+
+/** Abort: something happened that indicates a simulator bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    detail::terminate("panic", detail::format(fmt,
+                      std::forward<Args>(args)...), true);
+}
+
+/** Exit(1): the simulation cannot continue due to a user/config error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    detail::terminate("fatal", detail::format(fmt,
+                      std::forward<Args>(args)...), false);
+}
+
+/** Non-fatal warning about questionable behaviour. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    detail::emit("warn", detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    detail::emit("info", detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** panic() unless the condition holds. */
+#define LEAKY_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::leaky::sim::detail::assertFail(                              \
+                #cond, ::leaky::sim::detail::format(__VA_ARGS__));         \
+    } while (0)
+
+} // namespace leaky::sim
+
+#endif // LEAKY_SIM_LOGGING_HH

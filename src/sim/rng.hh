@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**, seeded via
+ * splitmix64). All stochastic components of the simulator (RIAC counter
+ * initialisation, PARA coin flips, workload generators, ML shuffles) draw
+ * from explicitly seeded Rng instances so every experiment is reproducible.
+ */
+
+#ifndef LEAKY_SIM_RNG_HH
+#define LEAKY_SIM_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace leaky::sim {
+
+/** xoshiro256** generator with a splitmix64-seeded state. */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitmix64(x);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit value. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's method. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        LEAKY_ASSERT(bound > 0, "bound must be positive");
+        const auto x = (*this)();
+        const auto m = static_cast<unsigned __int128>(x) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        LEAKY_ASSERT(lo <= hi, "empty range");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Derive an independent child generator (for per-component seeding). */
+    Rng
+    fork()
+    {
+        const std::uint64_t s = (*this)();
+        return Rng(s);
+    }
+
+  private:
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9E3779B97F4A7C15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace leaky::sim
+
+#endif // LEAKY_SIM_RNG_HH

@@ -1,0 +1,59 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace leaky::sim {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    LEAKY_ASSERT(hi > lo && buckets > 0, "degenerate histogram");
+}
+
+void
+Histogram::sample(double v)
+{
+    total_ += 1;
+    if (v < lo_) {
+        underflow_ += 1;
+    } else if (v >= hi_) {
+        overflow_ += 1;
+    } else {
+        const auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        counts_[std::min(idx, counts_.size() - 1)] += 1;
+    }
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string
+Histogram::render(std::size_t max_width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar_len = static_cast<std::size_t>(
+            counts_[i] * max_width / peak);
+        std::snprintf(line, sizeof(line), "[%10.1f, %10.1f) %8llu |",
+                      bucketLo(i), bucketLo(i) + width_,
+                      static_cast<unsigned long long>(counts_[i]));
+        out += line;
+        out.append(bar_len, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace leaky::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named counters, scalar accumulators
+ * and fixed-bucket histograms, collected per component and dumpable as
+ * aligned text tables.
+ */
+
+#ifndef LEAKY_SIM_STATS_HH
+#define LEAKY_SIM_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace leaky::sim {
+
+/** Accumulates samples and exposes count/mean/min/max/stddev. */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        count_ += 1;
+        sum_ += v;
+        sum_sq_ += v * v;
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population standard deviation. */
+    double
+    stddev() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        const double m = mean();
+        const double var = sum_sq_ / count_ - m * m;
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = Accumulator{};
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width-bucket histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double v);
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    double bucketLo(std::size_t i) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Render as an ASCII table (one bucket per line). */
+    std::string render(std::size_t max_width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace leaky::sim
+
+#endif // LEAKY_SIM_STATS_HH

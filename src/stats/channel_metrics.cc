@@ -1,0 +1,95 @@
+#include "stats/channel_metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace leaky::stats {
+
+double
+binaryEntropy(double e)
+{
+    LEAKY_ASSERT(e >= 0.0 && e <= 1.0, "error probability out of range");
+    if (e <= 0.0 || e >= 1.0)
+        return 0.0;
+    return -e * std::log2(e) - (1.0 - e) * std::log2(1.0 - e);
+}
+
+double
+channelCapacity(double raw_bit_rate, double error_probability)
+{
+    // Error probabilities above 0.5 are clamped: a binary channel that
+    // is wrong more often than right carries the complement signal.
+    const double e = std::min(error_probability, 0.5);
+    return raw_bit_rate * (1.0 - binaryEntropy(e));
+}
+
+double
+errorProbability(const std::vector<bool> &sent,
+                 const std::vector<bool> &received)
+{
+    LEAKY_ASSERT(sent.size() == received.size() && !sent.empty(),
+                 "bit vectors must be non-empty and equal length");
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < sent.size(); ++i)
+        errors += sent[i] != received[i] ? 1 : 0;
+    return static_cast<double>(errors) / static_cast<double>(sent.size());
+}
+
+double
+symbolErrorRate(const std::vector<std::uint8_t> &sent,
+                const std::vector<std::uint8_t> &received)
+{
+    LEAKY_ASSERT(sent.size() == received.size() && !sent.empty(),
+                 "symbol vectors must be non-empty and equal length");
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < sent.size(); ++i)
+        errors += sent[i] != received[i] ? 1 : 0;
+    return static_cast<double>(errors) / static_cast<double>(sent.size());
+}
+
+double
+rawBitRate(sim::Tick window, double bits_per_symbol)
+{
+    LEAKY_ASSERT(window > 0, "window must be positive");
+    const double seconds = static_cast<double>(window) * 1e-12;
+    return bits_per_symbol / seconds;
+}
+
+double
+noiseIntensity(sim::Tick sleep, sim::Tick min_sleep, sim::Tick max_sleep)
+{
+    LEAKY_ASSERT(max_sleep > min_sleep, "degenerate sleep range");
+    const double span = static_cast<double>(max_sleep - min_sleep);
+    const double rel = static_cast<double>(sleep - min_sleep) / span;
+    return (1.0 - rel) * 99.0 + 1.0;
+}
+
+sim::Tick
+sleepForIntensity(double intensity, sim::Tick min_sleep,
+                  sim::Tick max_sleep)
+{
+    LEAKY_ASSERT(intensity >= 1.0 && intensity <= 100.0,
+                 "intensity must be in [1, 100]");
+    const double rel = 1.0 - (intensity - 1.0) / 99.0;
+    const double span = static_cast<double>(max_sleep - min_sleep);
+    return min_sleep + static_cast<sim::Tick>(rel * span + 0.5);
+}
+
+double
+weightedSpeedup(const std::vector<double> &ipc_shared,
+                const std::vector<double> &ipc_alone)
+{
+    LEAKY_ASSERT(ipc_shared.size() == ipc_alone.size() &&
+                     !ipc_shared.empty(),
+                 "IPC vectors must be non-empty and equal length");
+    double ws = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+        LEAKY_ASSERT(ipc_alone[i] > 0.0, "alone IPC must be positive");
+        ws += ipc_shared[i] / ipc_alone[i];
+    }
+    return ws;
+}
+
+} // namespace leaky::stats

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Covert-channel quality metrics (paper §5.2, Eq. 1): raw bit rate,
+ * error probability, binary entropy, and channel capacity
+ *   C = R x (1 - H(e)),  H(e) = -e log2 e - (1-e) log2 (1-e),
+ * plus the noise-intensity mapping of Eq. 2 and weighted speedup for
+ * the Fig. 13 performance study.
+ */
+
+#ifndef LEAKY_STATS_CHANNEL_METRICS_HH
+#define LEAKY_STATS_CHANNEL_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/tick.hh"
+
+namespace leaky::stats {
+
+/** Binary entropy H(e) in bits; H(0) = H(1) = 0. */
+double binaryEntropy(double e);
+
+/** Channel capacity in bits/s given a raw rate (bits/s) and error rate. */
+double channelCapacity(double raw_bit_rate, double error_probability);
+
+/** Fraction of mismatching bits between two equal-length bit vectors. */
+double errorProbability(const std::vector<bool> &sent,
+                        const std::vector<bool> &received);
+
+/** Symbol error rate for multibit (ternary/quaternary) transmissions. */
+double symbolErrorRate(const std::vector<std::uint8_t> &sent,
+                       const std::vector<std::uint8_t> &received);
+
+/** Raw bit rate in bits/s for one bit per window of @p window ticks. */
+double rawBitRate(sim::Tick window, double bits_per_symbol = 1.0);
+
+/**
+ * Noise intensity (paper Eq. 2) for a noise-generator sleep duration:
+ * intensity = (1 - (sleep - min)/(max - min)) * 99 + 1, in percent.
+ */
+double noiseIntensity(sim::Tick sleep, sim::Tick min_sleep,
+                      sim::Tick max_sleep);
+
+/** Inverse of noiseIntensity: sleep duration for a target intensity. */
+sim::Tick sleepForIntensity(double intensity, sim::Tick min_sleep,
+                            sim::Tick max_sleep);
+
+/** Weighted speedup: sum of IPC_shared / IPC_alone over cores. */
+double weightedSpeedup(const std::vector<double> &ipc_shared,
+                       const std::vector<double> &ipc_alone);
+
+} // namespace leaky::stats
+
+#endif // LEAKY_STATS_CHANNEL_METRICS_HH

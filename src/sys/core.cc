@@ -1,0 +1,188 @@
+#include "sys/core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace leaky::sys {
+
+TraceCore::TraceCore(MemoryPort &port, const CoreConfig &cfg,
+                     std::vector<TraceEntry> trace, std::int32_t source_id)
+    : port_(port), cfg_(cfg), trace_(std::move(trace)), source_(source_id),
+      caches_(cfg.caches)
+{
+    LEAKY_ASSERT(!trace_.empty(), "core %d has an empty trace", source_id);
+}
+
+Tick
+TraceCore::instTicks(std::uint64_t insts) const
+{
+    const double ticks_per_inst =
+        1000.0 / (cfg_.issue_ipc * cfg_.freq_ghz);
+    return static_cast<Tick>(static_cast<double>(insts) * ticks_per_inst);
+}
+
+void
+TraceCore::start()
+{
+    start_tick_ = port_.now();
+    ready_time_ = start_tick_;
+    dispatch();
+}
+
+void
+TraceCore::retire(std::uint64_t insts)
+{
+    insts_retired_ += insts;
+    if (finish_tick_ == 0 && insts_retired_ >= cfg_.inst_budget)
+        finish_tick_ = std::max<Tick>(port_.now(), ready_time_);
+}
+
+double
+TraceCore::measuredIpc() const
+{
+    LEAKY_ASSERT(finish_tick_ > start_tick_, "IPC queried before finish");
+    const double cycles = static_cast<double>(finish_tick_ - start_tick_) *
+                          cfg_.freq_ghz / 1000.0;
+    return static_cast<double>(cfg_.inst_budget) / cycles;
+}
+
+double
+TraceCore::ipcAt(Tick now) const
+{
+    if (budgetDone())
+        return measuredIpc();
+    if (now <= start_tick_)
+        return 0.0;
+    const double cycles = static_cast<double>(now - start_tick_) *
+                          cfg_.freq_ghz / 1000.0;
+    const auto insts = std::min(insts_retired_, cfg_.inst_budget);
+    return static_cast<double>(insts) / cycles;
+}
+
+void
+TraceCore::issuePrefetch(std::uint64_t line_addr)
+{
+    const std::uint64_t addr = line_addr * 64;
+    port_.issueRead(addr, source_, [this, addr](Tick) {
+        CacheHierarchy::Result result;
+        caches_.fill(addr, false, result);
+        for (auto wb : result.writebacks)
+            port_.issueWrite(wb, source_);
+        prefetcher_.onFill(addr / 64);
+    });
+}
+
+void
+TraceCore::onLoadDone(std::uint64_t inst_index)
+{
+    const auto it = std::find(outstanding_.begin(), outstanding_.end(),
+                              inst_index);
+    LEAKY_ASSERT(it != outstanding_.end(), "unknown load completion");
+    outstanding_.erase(it);
+    retire(1);
+    dispatch();
+}
+
+void
+TraceCore::dispatch()
+{
+    const Tick now = port_.now();
+    if (ready_time_ < now)
+        ready_time_ = now;
+
+    while (true) {
+        // One event per trace record: once the dispatch clock moves past
+        // "now", yield and resume via a scheduled wake-up. The pending
+        // flag stays set until that wake fires, so dispatch() calls
+        // from load completions do not schedule duplicates.
+        if (ready_time_ > now) {
+            if (!wake_pending_) {
+                wake_pending_ = true;
+                port_.schedule(ready_time_ - now, [this] {
+                    wake_pending_ = false;
+                    dispatch();
+                });
+            }
+            return;
+        }
+
+        const TraceEntry &entry = trace_[trace_pos_];
+        const std::uint64_t last_inst =
+            insts_dispatched_ + entry.non_mem_insts + 1;
+
+        // Instruction-window limit past the oldest outstanding load.
+        if (!outstanding_.empty() &&
+            last_inst - outstanding_.front() > cfg_.window) {
+            return; // Resumed by onLoadDone().
+        }
+        const bool is_load = !entry.is_write;
+        if (is_load && outstanding_.size() >= cfg_.mshrs)
+            return; // Resumed by onLoadDone().
+
+        // Consume the compute burst.
+        ready_time_ += instTicks(entry.non_mem_insts);
+        retire(entry.non_mem_insts);
+
+        if (is_load) {
+            auto result = caches_.access(entry.addr, false);
+            outstanding_.push_back(last_inst);
+            if (result.hit) {
+                const Tick done = ready_time_ + result.latency;
+                port_.schedule(done - now, [this, last_inst] {
+                    onLoadDone(last_inst);
+                });
+            } else {
+                const std::uint64_t addr = entry.addr;
+                const std::uint64_t line = addr / 64;
+                auto pending = pending_fills_.find(line);
+                if (pending != pending_fills_.end()) {
+                    // Coalesce: an MSHR already tracks this line.
+                    pending->second.push_back(last_inst);
+                } else {
+                    pending_fills_[line] = {last_inst};
+                    mem_reads_ += 1;
+                    const Tick issue_delay =
+                        (ready_time_ - now) + result.latency;
+                    port_.schedule(issue_delay, [this, addr, line] {
+                        port_.issueRead(addr, source_,
+                                        [this, addr, line](Tick) {
+                            CacheHierarchy::Result fill;
+                            caches_.fill(addr, false, fill);
+                            for (auto wb : fill.writebacks)
+                                port_.issueWrite(wb, source_);
+                            if (cfg_.enable_prefetcher)
+                                prefetcher_.onFill(line);
+                            auto waiters = std::move(
+                                pending_fills_[line]);
+                            pending_fills_.erase(line);
+                            for (auto inst : waiters)
+                                onLoadDone(inst);
+                        });
+                    });
+                }
+                if (cfg_.enable_prefetcher) {
+                    if (auto pf = prefetcher_.onDemandMiss(addr / 64)) {
+                        if (!caches_.access(*pf * 64, false).hit)
+                            issuePrefetch(*pf);
+                    }
+                }
+            }
+        } else {
+            // Store: write-allocate without a blocking fetch.
+            auto result = caches_.access(entry.addr, true);
+            if (!result.hit) {
+                caches_.fill(entry.addr, true, result);
+                mem_writes_ += 1;
+            }
+            for (auto wb : result.writebacks)
+                port_.issueWrite(wb, source_);
+            retire(1);
+        }
+
+        insts_dispatched_ = last_inst;
+        trace_pos_ = (trace_pos_ + 1) % trace_.size();
+    }
+}
+
+} // namespace leaky::sys

@@ -1,0 +1,130 @@
+#include "sys/system.hh"
+
+#include "sim/logging.hh"
+
+namespace leaky::sys {
+
+SystemConfig
+SystemConfig::paper(defense::DefenseKind kind, std::uint32_t nrh)
+{
+    SystemConfig cfg;
+    cfg.ctrl.dram = dram::DramConfig::ddr5Paper();
+    cfg.defense.kind = kind;
+    cfg.defense.nrh = nrh;
+    return cfg;
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), mapper_(cfg.ctrl.dram.org, cfg.channels)
+{
+    for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) {
+        // The controller config may be adjusted by the defense choice,
+        // so resolve the bundle parameters first.
+        ctrl::CtrlConfig ctrl_cfg = cfg_.ctrl;
+        ctrl_cfg.rfms_per_backoff = cfg_.defense.rfms_per_backoff;
+        ctrl_cfg.deterministic_refresh =
+            ctrl_cfg.deterministic_refresh ||
+            cfg_.defense.kind == defense::DefenseKind::kFrRfm;
+        if (cfg_.defense.backoff_rfm_latency)
+            ctrl_cfg.dram.timing.tRFM_backoff =
+                cfg_.defense.backoff_rfm_latency;
+        if (cfg_.defense.aboact_override)
+            ctrl_cfg.dram.timing.tABOACT = cfg_.defense.aboact_override;
+
+        auto controller = std::make_unique<ctrl::MemoryController>(
+            eq_, ctrl_cfg, ch);
+        defense::DefenseSpec spec = cfg_.defense;
+        spec.seed = cfg_.defense.seed + ch;
+        auto bundle = defense::makeDefense(spec, ctrl_cfg.dram,
+                                           ctrl_cfg.drain_lead,
+                                           controller.get());
+        if (bundle.device)
+            controller->setDeviceHooks(bundle.device.get());
+        if (bundle.controller)
+            controller->setControllerDefense(bundle.controller.get());
+        ctrls_.push_back(std::move(controller));
+        bundles_.push_back(std::move(bundle));
+    }
+}
+
+ctrl::MemoryController &
+System::controller(std::uint32_t ch)
+{
+    LEAKY_ASSERT(ch < ctrls_.size(), "channel %u out of range", ch);
+    return *ctrls_[ch];
+}
+
+const defense::DefenseBundle &
+System::defenseBundle(std::uint32_t ch) const
+{
+    LEAKY_ASSERT(ch < bundles_.size(), "channel %u out of range", ch);
+    return bundles_[ch];
+}
+
+void
+System::setPreventiveListener(std::uint32_t ch,
+                              ctrl::MemoryController::Listener listener)
+{
+    controller(ch).setListener(std::move(listener));
+}
+
+void
+System::run(Tick duration)
+{
+    eq_.runUntil(eq_.now() + duration);
+}
+
+void
+System::schedule(Tick delay, std::function<void()> fn)
+{
+    eq_.scheduleAfter(delay, std::move(fn));
+}
+
+void
+System::enqueueWithRetry(ctrl::Request req)
+{
+    auto &controller = *ctrls_[req.addr.channel];
+    if (controller.enqueue(req))
+        return;
+    eq_.scheduleAfter(cfg_.retry_interval, [this, req = std::move(req)] {
+        enqueueWithRetry(req);
+    });
+}
+
+void
+System::issueRead(std::uint64_t phys_addr, std::int32_t source,
+                  ReadCallback cb)
+{
+    ctrl::Request req;
+    req.type = ctrl::Request::Type::kRead;
+    req.phys_addr = phys_addr;
+    req.addr = mapper_.decode(phys_addr);
+    req.source = source;
+    const Tick frontend = cfg_.frontend_latency;
+    req.on_complete = [this, cb = std::move(cb),
+                       frontend](const ctrl::Request &, Tick done) {
+        // Data still has to travel back to the requestor.
+        eq_.schedule(done + frontend > eq_.now() ? done + frontend
+                                                 : eq_.now(),
+                     [cb, done, frontend] { cb(done + frontend); });
+    };
+    eq_.scheduleAfter(frontend, [this, req = std::move(req)] {
+        enqueueWithRetry(req);
+    });
+}
+
+void
+System::issueWrite(std::uint64_t phys_addr, std::int32_t source)
+{
+    ctrl::Request req;
+    req.type = ctrl::Request::Type::kWrite;
+    req.phys_addr = phys_addr;
+    req.addr = mapper_.decode(phys_addr);
+    req.source = source;
+    eq_.scheduleAfter(cfg_.frontend_latency,
+                      [this, req = std::move(req)] {
+                          enqueueWithRetry(req);
+                      });
+}
+
+} // namespace leaky::sys

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Top-level simulated system: event queue + N memory channels (each with
+ * its own controller and defense instance) + the address mapper, behind
+ * the MemoryPort interface. This is the substrate equivalent of the
+ * paper's gem5 + Ramulator 2.0 stack (§5.1, Table 1).
+ */
+
+#ifndef LEAKY_SYS_SYSTEM_HH
+#define LEAKY_SYS_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "ctrl/controller.hh"
+#include "defense/factory.hh"
+#include "dram/address_mapper.hh"
+#include "sim/event_queue.hh"
+#include "sys/port.hh"
+
+namespace leaky::sys {
+
+/** Whole-system configuration. */
+struct SystemConfig {
+    std::uint32_t channels = 1;
+    ctrl::CtrlConfig ctrl;          ///< Per-channel controller + DRAM.
+    defense::DefenseSpec defense;   ///< Applied to every channel.
+    /** Core/agent <-> controller latency each way (interconnect plus
+     *  cache-miss handling outside the pure cache lookup). */
+    Tick frontend_latency = 10'000;
+    /** Delay before retrying a request rejected by a full queue. */
+    Tick retry_interval = 20'000;
+
+    /** Paper Table 1 system with the given defense. */
+    static SystemConfig paper(defense::DefenseKind kind,
+                              std::uint32_t nrh = 160);
+};
+
+/** The simulated machine. */
+class System final : public MemoryPort
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    sim::EventQueue &eventQueue() { return eq_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    ctrl::MemoryController &controller(std::uint32_t ch = 0);
+    const defense::DefenseBundle &defenseBundle(std::uint32_t ch = 0) const;
+
+    /** Observe preventive actions on a channel (ground truth). */
+    void setPreventiveListener(std::uint32_t ch,
+                               ctrl::MemoryController::Listener listener);
+
+    /** Advance simulation by @p duration ticks. */
+    void run(Tick duration);
+
+    // MemoryPort
+    Tick now() const override { return eq_.now(); }
+    void schedule(Tick delay, std::function<void()> fn) override;
+    void issueRead(std::uint64_t phys_addr, std::int32_t source,
+                   ReadCallback cb) override;
+    void issueWrite(std::uint64_t phys_addr, std::int32_t source) override;
+    const dram::AddressMapper &mapper() const override { return mapper_; }
+
+  private:
+    void enqueueWithRetry(ctrl::Request req);
+
+    SystemConfig cfg_;
+    sim::EventQueue eq_;
+    dram::AddressMapper mapper_;
+    std::vector<std::unique_ptr<ctrl::MemoryController>> ctrls_;
+    std::vector<defense::DefenseBundle> bundles_;
+};
+
+} // namespace leaky::sys
+
+#endif // LEAKY_SYS_SYSTEM_HH

@@ -1,0 +1,97 @@
+/** @file Message encoding tests: strings, patterns, symbol packing. */
+
+#include <gtest/gtest.h>
+
+#include "attack/message.hh"
+
+namespace {
+
+using namespace leaky::attack;
+
+TEST(Message, MicroIs40Bits)
+{
+    const auto bits = bitsFromString("MICRO");
+    EXPECT_EQ(bits.size(), 40u);
+    EXPECT_EQ(stringFromBits(bits), "MICRO");
+}
+
+TEST(Message, StringRoundTripArbitraryBytes)
+{
+    const std::string text = "LeakyHammer \x01\x7f test";
+    EXPECT_EQ(stringFromBits(bitsFromString(text)), text);
+}
+
+TEST(Message, PatternsMatchPaperDefinitions)
+{
+    const auto ones = patternBits(MessagePattern::kAllOnes, 6);
+    const auto zeros = patternBits(MessagePattern::kAllZeros, 6);
+    const auto c0 = patternBits(MessagePattern::kCheckered0, 6);
+    const auto c1 = patternBits(MessagePattern::kCheckered1, 6);
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_TRUE(ones[static_cast<std::size_t>(i)]);
+        EXPECT_FALSE(zeros[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(c0[static_cast<std::size_t>(i)], i % 2 == 1);
+        EXPECT_EQ(c1[static_cast<std::size_t>(i)], i % 2 == 0);
+    }
+}
+
+TEST(Message, RandomPatternIsDeterministicAndMixed)
+{
+    const auto a = patternBits(MessagePattern::kRandom, 256);
+    const auto b = patternBits(MessagePattern::kRandom, 256);
+    EXPECT_EQ(a, b);
+    int ones = 0;
+    for (bool bit : a)
+        ones += bit ? 1 : 0;
+    EXPECT_GT(ones, 96);
+    EXPECT_LT(ones, 160);
+}
+
+TEST(Message, BitsPerSymbolValues)
+{
+    EXPECT_DOUBLE_EQ(bitsPerSymbol(2), 1.0);
+    EXPECT_NEAR(bitsPerSymbol(3), 1.58, 0.01);
+    EXPECT_DOUBLE_EQ(bitsPerSymbol(4), 2.0);
+}
+
+/** Property: symbol packing round-trips for every level count. */
+class SymbolRoundTrip : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SymbolRoundTrip, PackUnpackIdentity)
+{
+    const auto levels = GetParam();
+    for (auto pattern :
+         {MessagePattern::kRandom, MessagePattern::kCheckered0,
+          MessagePattern::kAllOnes}) {
+        const auto bits = patternBits(pattern, 152); // 19-bit multiple.
+        const auto symbols = symbolsFromBits(bits, levels);
+        for (auto s : symbols)
+            EXPECT_LT(s, levels);
+        const auto back = bitsFromSymbols(symbols, levels, bits.size());
+        EXPECT_EQ(back, bits) << "levels=" << levels;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SymbolRoundTrip,
+                         ::testing::Values(2, 3, 4));
+
+TEST(Message, QuaternaryPacksTwoBits)
+{
+    const std::vector<bool> bits = {1, 0, 0, 1, 1, 1};
+    const auto symbols = symbolsFromBits(bits, 4);
+    ASSERT_EQ(symbols.size(), 3u);
+    EXPECT_EQ(symbols[0], 2); // 10
+    EXPECT_EQ(symbols[1], 1); // 01
+    EXPECT_EQ(symbols[2], 3); // 11
+}
+
+TEST(Message, TernaryUsesMoreSymbolsThanQuaternary)
+{
+    const auto bits = patternBits(MessagePattern::kRandom, 152);
+    EXPECT_GT(symbolsFromBits(bits, 3).size(),
+              symbolsFromBits(bits, 4).size());
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/** @file Cache level and hierarchy tests: LRU, dirtiness, clflush. */
+
+#include <gtest/gtest.h>
+
+#include "sys/cache.hh"
+
+namespace {
+
+using leaky::sys::CacheHierarchy;
+using leaky::sys::CacheHierarchyConfig;
+using leaky::sys::CacheLevel;
+using leaky::sys::CacheLevelConfig;
+
+CacheLevelConfig
+tinyCache(std::uint32_t ways = 2, std::uint64_t lines = 8)
+{
+    CacheLevelConfig cfg;
+    cfg.name = "tiny";
+    cfg.line_bytes = 64;
+    cfg.ways = ways;
+    cfg.size_bytes = lines * 64;
+    cfg.latency = 1'000;
+    return cfg;
+}
+
+TEST(CacheLevel, MissThenHit)
+{
+    CacheLevel cache(tinyCache());
+    EXPECT_FALSE(cache.access(5, false));
+    cache.insert(5, false);
+    EXPECT_TRUE(cache.access(5, false));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheLevel, LruEvictsLeastRecentlyUsed)
+{
+    // 2 ways, 4 sets: lines 0, 4, 8 map to set 0.
+    CacheLevel cache(tinyCache());
+    cache.insert(0, false);
+    cache.insert(4, false);
+    EXPECT_TRUE(cache.access(0, false)); // Touch 0: 4 becomes LRU.
+    const auto ev = cache.insert(8, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line_addr, 4u);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(8));
+    EXPECT_FALSE(cache.contains(4));
+}
+
+TEST(CacheLevel, DirtyEvictionReported)
+{
+    CacheLevel cache(tinyCache());
+    cache.insert(0, false);
+    cache.access(0, /*is_write=*/true); // Dirty it.
+    cache.insert(4, false);
+    const auto ev = cache.insert(8, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line_addr, 0u);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(CacheLevel, FlushReportsDirtiness)
+{
+    CacheLevel cache(tinyCache());
+    cache.insert(3, true);
+    EXPECT_TRUE(cache.flush(3));
+    EXPECT_FALSE(cache.contains(3));
+    EXPECT_FALSE(cache.flush(3)); // Already gone.
+    cache.insert(3, false);
+    EXPECT_FALSE(cache.flush(3)); // Clean flush.
+}
+
+TEST(CacheHierarchy, MissProbesAllLevelsAndFills)
+{
+    CacheHierarchy caches(CacheHierarchyConfig::paperDefault());
+    auto first = caches.access(0x1000, false);
+    EXPECT_FALSE(first.hit);
+    EXPECT_EQ(first.latency, caches.missLatency());
+    caches.fill(0x1000, false, first);
+
+    const auto second = caches.access(0x1000, false);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(second.latency, caches.level(0).config().latency);
+}
+
+TEST(CacheHierarchy, FlushForcesNextAccessToMiss)
+{
+    CacheHierarchy caches(CacheHierarchyConfig::paperDefault());
+    auto res = caches.access(0x2000, false);
+    caches.fill(0x2000, false, res);
+    EXPECT_TRUE(caches.access(0x2000, false).hit);
+    EXPECT_FALSE(caches.flush(0x2000));
+    EXPECT_FALSE(caches.access(0x2000, false).hit);
+}
+
+TEST(CacheHierarchy, DirtyLlcEvictionBecomesWriteback)
+{
+    // Tiny two-level hierarchy so evictions are easy to force.
+    CacheHierarchyConfig cfg;
+    cfg.levels.push_back(tinyCache(1, 2)); // 2 sets, direct-mapped.
+    cfg.levels.push_back(tinyCache(1, 4)); // 4 sets, direct-mapped.
+    CacheHierarchy caches(cfg);
+
+    auto res = caches.access(0 * 64, true);
+    caches.fill(0 * 64, true, res);
+    EXPECT_TRUE(res.writebacks.empty());
+
+    // Line 4 maps to LLC set 0 too: evicts dirty line 0 to memory.
+    auto res2 = caches.access(4 * 64, false);
+    caches.fill(4 * 64, false, res2);
+    ASSERT_EQ(res2.writebacks.size(), 1u);
+    EXPECT_EQ(res2.writebacks[0], 0u);
+}
+
+TEST(CacheHierarchy, ConfigsMatchPaper)
+{
+    const auto paper = CacheHierarchyConfig::paperDefault();
+    ASSERT_EQ(paper.levels.size(), 2u);
+    EXPECT_EQ(paper.levels[0].size_bytes, 32u * 1024);
+    EXPECT_EQ(paper.levels[1].size_bytes, 4ull * 1024 * 1024);
+    EXPECT_EQ(paper.levels[1].ways, 16u);
+
+    const auto large = CacheHierarchyConfig::largeHierarchy();
+    ASSERT_EQ(large.levels.size(), 3u);
+    EXPECT_EQ(large.levels[1].size_bytes, 256u * 1024);
+    EXPECT_EQ(large.levels[2].size_bytes, 6ull * 1024 * 1024);
+}
+
+} // namespace

@@ -1,0 +1,235 @@
+/** @file PRAC / PRAC-RIAC / Bank-Level PRAC defense unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "defense/prac.hh"
+
+namespace {
+
+using leaky::defense::PracConfig;
+using leaky::defense::PracDefense;
+using leaky::dram::AlertInfo;
+using leaky::dram::AlertSink;
+using leaky::dram::Address;
+using leaky::dram::Command;
+using leaky::dram::DramConfig;
+using leaky::sim::Tick;
+
+class RecordingSink final : public AlertSink
+{
+  public:
+    void raiseAlert(const AlertInfo &info) override
+    {
+        alerts.push_back(info);
+    }
+    std::vector<AlertInfo> alerts;
+};
+
+Address
+addr(std::uint32_t bg, std::uint32_t bank, std::uint32_t row,
+     std::uint32_t rank = 0)
+{
+    Address a;
+    a.rank = rank;
+    a.bankgroup = bg;
+    a.bank = bank;
+    a.row = row;
+    return a;
+}
+
+class PracTest : public ::testing::Test
+{
+  protected:
+    PracTest() : dram_cfg_(DramConfig::ddr5Paper()) {}
+
+    std::unique_ptr<PracDefense>
+    make(PracConfig cfg)
+    {
+        return std::make_unique<PracDefense>(dram_cfg_, cfg, &sink_);
+    }
+
+    /** Close @p row in its bank @p times (each close increments). */
+    static void
+    close(PracDefense &prac, const Address &a, std::uint32_t times,
+          Tick start = 0)
+    {
+        for (std::uint32_t i = 0; i < times; ++i)
+            prac.onPrecharge(a, start + i * 100'000);
+    }
+
+    DramConfig dram_cfg_;
+    RecordingSink sink_;
+};
+
+TEST_F(PracTest, CountsIncrementOnPrechargeNotActivate)
+{
+    PracConfig cfg;
+    cfg.nbo = 100;
+    auto prac = make(cfg);
+    const auto a = addr(0, 0, 7);
+    prac->onActivate(a, 0);
+    EXPECT_EQ(prac->counterValue(a), 0u);
+    prac->onPrecharge(a, 10);
+    EXPECT_EQ(prac->counterValue(a), 1u);
+}
+
+TEST_F(PracTest, AlertAtNbo)
+{
+    PracConfig cfg;
+    cfg.nbo = 5;
+    auto prac = make(cfg);
+    close(*prac, addr(0, 0, 7), 4);
+    EXPECT_TRUE(sink_.alerts.empty());
+    close(*prac, addr(0, 0, 7), 1, 1'000'000);
+    ASSERT_EQ(sink_.alerts.size(), 1u);
+    EXPECT_FALSE(sink_.alerts[0].bank_scoped);
+}
+
+TEST_F(PracTest, NoReAlertWhileRecoveryOutstanding)
+{
+    PracConfig cfg;
+    cfg.nbo = 5;
+    auto prac = make(cfg);
+    close(*prac, addr(0, 0, 7), 10);
+    EXPECT_EQ(sink_.alerts.size(), 1u); // Suppressed until recovery.
+}
+
+TEST_F(PracTest, RecoveryRfmResetsTopCounterAndArmsCooldown)
+{
+    PracConfig cfg;
+    cfg.nbo = 5;
+    cfg.rfms_per_backoff = 4;
+    cfg.cooldown = 1'000'000;
+    auto prac = make(cfg);
+    const auto hot = addr(0, 0, 7);
+    const auto warm = addr(0, 0, 9);
+    close(*prac, hot, 5);
+    close(*prac, warm, 3);
+    ASSERT_EQ(sink_.alerts.size(), 1u);
+
+    // Full recovery: rfms_per_backoff x ranks RFMab windows.
+    Address rank0 = addr(0, 0, 0);
+    Address rank1 = addr(0, 0, 0, 1);
+    const Tick t0 = 2'000'000;
+    for (std::uint32_t i = 0; i < cfg.rfms_per_backoff; ++i) {
+        prac->onRfm(Command::kRfmAll, rank0, true,
+                    t0 + i * 305'000);
+        prac->onRfm(Command::kRfmAll, rank1, true,
+                    t0 + i * 305'000);
+    }
+    // The hottest row was serviced (reset), the warm one next, etc.
+    EXPECT_EQ(prac->counterValue(hot), 0u);
+    EXPECT_EQ(prac->counterValue(warm), 0u);
+
+    // Immediately after recovery the cooldown suppresses alerts...
+    close(*prac, hot, 5, t0 + 4 * 305'000 + 1);
+    EXPECT_EQ(sink_.alerts.size(), 1u);
+    // ...but after the cooldown a new alert fires.
+    close(*prac, hot, 1, t0 + 4 * 305'000 + cfg.cooldown + 400'000);
+    EXPECT_EQ(sink_.alerts.size(), 2u);
+}
+
+TEST_F(PracTest, EachRfmServicesOneAggressor)
+{
+    PracConfig cfg;
+    cfg.nbo = 100;
+    auto prac = make(cfg);
+    close(*prac, addr(0, 0, 1), 30);
+    close(*prac, addr(1, 2, 2), 20);
+    close(*prac, addr(2, 3, 3), 10);
+
+    Address rank0 = addr(0, 0, 0);
+    prac->onRfm(Command::kRfmAll, rank0, false, 0);
+    // Only the hottest row across the rank is reset.
+    EXPECT_EQ(prac->counterValue(addr(0, 0, 1)), 0u);
+    EXPECT_EQ(prac->counterValue(addr(1, 2, 2)), 20u);
+    EXPECT_EQ(prac->counterValue(addr(2, 3, 3)), 10u);
+}
+
+TEST_F(PracTest, RfmSameBankScopesToBankIndex)
+{
+    PracConfig cfg;
+    cfg.nbo = 100;
+    auto prac = make(cfg);
+    close(*prac, addr(0, 1, 5), 40); // Bank index 1.
+    close(*prac, addr(0, 2, 6), 50); // Bank index 2 (hotter).
+
+    Address target = addr(0, 1, 0);
+    prac->onRfm(Command::kRfmSameBank, target, false, 0);
+    // Only bank index 1 is in scope, so its row resets even though a
+    // hotter row exists in bank 2.
+    EXPECT_EQ(prac->counterValue(addr(0, 1, 5)), 0u);
+    EXPECT_EQ(prac->counterValue(addr(0, 2, 6)), 50u);
+}
+
+TEST_F(PracTest, BankLevelAlertsCarryBankCoordinates)
+{
+    PracConfig cfg;
+    cfg.nbo = 5;
+    cfg.bank_level = true;
+    auto prac = make(cfg);
+    close(*prac, addr(3, 1, 7), 5);
+    ASSERT_EQ(sink_.alerts.size(), 1u);
+    EXPECT_TRUE(sink_.alerts[0].bank_scoped);
+    EXPECT_EQ(sink_.alerts[0].bank.bankgroup, 3u);
+    EXPECT_EQ(sink_.alerts[0].bank.bank, 1u);
+
+    // Another bank can alert independently while the first recovers.
+    close(*prac, addr(5, 2, 9), 5, 1'000'000);
+    EXPECT_EQ(sink_.alerts.size(), 2u);
+}
+
+TEST_F(PracTest, RiacInitialisesCountersRandomly)
+{
+    PracConfig cfg;
+    cfg.nbo = 128;
+    cfg.riac = true;
+    cfg.seed = 99;
+    auto prac = make(cfg);
+
+    // First close materialises a random initial value; across many rows
+    // the values should span [0, nbo) rather than all being zero.
+    std::uint32_t max_seen = 0;
+    std::uint32_t min_seen = ~0u;
+    for (std::uint32_t row = 0; row < 200; ++row) {
+        const auto a = addr(0, 0, row);
+        prac->onPrecharge(a, row * 1000);
+        const auto v = prac->counterValue(a);
+        max_seen = std::max(max_seen, v);
+        min_seen = std::min(min_seen, v);
+    }
+    EXPECT_GT(max_seen, 64u);
+    EXPECT_LT(min_seen, 32u);
+}
+
+TEST_F(PracTest, RiacCanAlertEarly)
+{
+    PracConfig cfg;
+    cfg.nbo = 128;
+    cfg.riac = true;
+    cfg.seed = 7;
+    auto prac = make(cfg);
+    // Closing 200 distinct rows once each: with random init in
+    // [0, 128), some row starts at 127 and alerts on its first close.
+    for (std::uint32_t row = 0; row < 200 && sink_.alerts.empty(); ++row)
+        prac->onPrecharge(addr(0, 0, row), row * 1000);
+    EXPECT_FALSE(sink_.alerts.empty());
+}
+
+TEST_F(PracTest, RiacIsSeedDeterministic)
+{
+    PracConfig cfg;
+    cfg.nbo = 128;
+    cfg.riac = true;
+    cfg.seed = 1234;
+    auto a = make(cfg);
+    auto b = make(cfg);
+    for (std::uint32_t row = 0; row < 50; ++row) {
+        a->onPrecharge(addr(0, 0, row), row);
+        b->onPrecharge(addr(0, 0, row), row);
+        EXPECT_EQ(a->counterValue(addr(0, 0, row)),
+                  b->counterValue(addr(0, 0, row)));
+    }
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/** @file PRFM defense unit tests: RAA counters and RFM requests. */
+
+#include <gtest/gtest.h>
+
+#include "defense/prfm.hh"
+
+namespace {
+
+using leaky::ctrl::RfmRequest;
+using leaky::defense::PrfmConfig;
+using leaky::defense::PrfmDefense;
+using leaky::dram::Address;
+using leaky::dram::Command;
+using leaky::dram::DramConfig;
+
+Address
+addr(std::uint32_t bg, std::uint32_t bank, std::uint32_t rank = 0)
+{
+    Address a;
+    a.rank = rank;
+    a.bankgroup = bg;
+    a.bank = bank;
+    return a;
+}
+
+class PrfmTest : public ::testing::Test
+{
+  protected:
+    PrfmTest() : dram_cfg_(DramConfig::ddr5Paper())
+    {
+        PrfmConfig cfg;
+        cfg.trfm = 4;
+        prfm_ = std::make_unique<PrfmDefense>(dram_cfg_, cfg);
+    }
+
+    DramConfig dram_cfg_;
+    std::unique_ptr<PrfmDefense> prfm_;
+};
+
+TEST_F(PrfmTest, NoRfmBelowThreshold)
+{
+    for (int i = 0; i < 3; ++i)
+        prfm_->onActivate(addr(0, 0), i);
+    EXPECT_FALSE(prfm_->pendingRfm(100).has_value());
+    EXPECT_EQ(prfm_->raaCount(addr(0, 0)), 3u);
+}
+
+TEST_F(PrfmTest, RfmRequestedAtThreshold)
+{
+    for (int i = 0; i < 4; ++i)
+        prfm_->onActivate(addr(0, 2), i);
+    const auto req = prfm_->pendingRfm(100);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->kind, Command::kRfmSameBank);
+    EXPECT_EQ(req->target.bank, 2u);
+    EXPECT_FALSE(req->precise);
+    // Popped: no duplicate while in flight.
+    EXPECT_FALSE(prfm_->pendingRfm(101).has_value());
+}
+
+TEST_F(PrfmTest, RfmIssueDecrementsAllGroupsOfBank)
+{
+    // Charge bank index 1 in two different bank groups.
+    for (int i = 0; i < 4; ++i)
+        prfm_->onActivate(addr(0, 1), i);
+    for (int i = 0; i < 2; ++i)
+        prfm_->onActivate(addr(5, 1), i);
+
+    auto req = prfm_->pendingRfm(100);
+    ASSERT_TRUE(req.has_value());
+    prfm_->onRfmIssued(*req, 100, 200);
+
+    // trfm (4) subtracted, saturating at zero.
+    EXPECT_EQ(prfm_->raaCount(addr(0, 1)), 0u);
+    EXPECT_EQ(prfm_->raaCount(addr(5, 1)), 0u);
+}
+
+TEST_F(PrfmTest, ReArmsAfterIssue)
+{
+    for (int i = 0; i < 4; ++i)
+        prfm_->onActivate(addr(0, 3), i);
+    auto req = prfm_->pendingRfm(10);
+    ASSERT_TRUE(req.has_value());
+    prfm_->onRfmIssued(*req, 10, 20);
+
+    for (int i = 0; i < 4; ++i)
+        prfm_->onActivate(addr(0, 3), 100 + i);
+    EXPECT_TRUE(prfm_->pendingRfm(200).has_value());
+    EXPECT_EQ(prfm_->rfmCount(), 2u);
+}
+
+TEST_F(PrfmTest, DistinctBanksQueueDistinctRfms)
+{
+    for (int i = 0; i < 4; ++i) {
+        prfm_->onActivate(addr(0, 0), i);
+        prfm_->onActivate(addr(0, 1), i);
+    }
+    const auto first = prfm_->pendingRfm(50);
+    const auto second = prfm_->pendingRfm(51);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_NE(first->target.bank, second->target.bank);
+}
+
+TEST_F(PrfmTest, CountersArePerBankGroupPair)
+{
+    for (int i = 0; i < 3; ++i)
+        prfm_->onActivate(addr(2, 0), i);
+    EXPECT_EQ(prfm_->raaCount(addr(2, 0)), 3u);
+    EXPECT_EQ(prfm_->raaCount(addr(3, 0)), 0u);
+    EXPECT_EQ(prfm_->raaCount(addr(2, 1)), 0u);
+}
+
+TEST_F(PrfmTest, NoTimerNeeded)
+{
+    EXPECT_EQ(prfm_->nextEventTick(0), leaky::sim::kTickMax);
+}
+
+} // namespace

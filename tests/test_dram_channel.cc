@@ -1,0 +1,244 @@
+/** @file DramChannel timing-rule tests (the JEDEC constraints). */
+
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+
+namespace {
+
+using leaky::dram::Address;
+using leaky::dram::Command;
+using leaky::dram::DramChannel;
+using leaky::dram::DramConfig;
+using leaky::dram::RowStatus;
+using leaky::sim::Tick;
+
+class DramChannelTest : public ::testing::Test
+{
+  protected:
+    DramChannelTest() : cfg_(DramConfig::ddr5Paper()), chan_(cfg_) {}
+
+    Address
+    addr(std::uint32_t bg, std::uint32_t bank, std::uint32_t row,
+         std::uint32_t rank = 0) const
+    {
+        Address a;
+        a.rank = rank;
+        a.bankgroup = bg;
+        a.bank = bank;
+        a.row = row;
+        return a;
+    }
+
+    DramConfig cfg_;
+    DramChannel chan_;
+};
+
+TEST_F(DramChannelTest, BanksStartClosed)
+{
+    EXPECT_EQ(chan_.openRow(addr(0, 0, 0)), DramChannel::kNoRow);
+    EXPECT_EQ(chan_.rowStatus(addr(0, 0, 5)), RowStatus::kEmpty);
+    EXPECT_TRUE(chan_.allBanksClosed(0));
+    EXPECT_TRUE(chan_.allBanksClosed(1));
+}
+
+TEST_F(DramChannelTest, ActOpensRowAndClassifiesStatus)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 42), 0);
+    EXPECT_EQ(chan_.openRow(addr(0, 0, 0)), 42);
+    EXPECT_EQ(chan_.rowStatus(addr(0, 0, 42)), RowStatus::kHit);
+    EXPECT_EQ(chan_.rowStatus(addr(0, 0, 43)), RowStatus::kConflict);
+    EXPECT_FALSE(chan_.allBanksClosed(0));
+}
+
+TEST_F(DramChannelTest, ReadWaitsForTrcd)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 1), 1000);
+    EXPECT_EQ(chan_.earliestIssue(Command::kRd, addr(0, 0, 1)),
+              1000 + cfg_.timing.tRCD);
+}
+
+TEST_F(DramChannelTest, PrechargeWaitsForTras)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 1), 0);
+    EXPECT_EQ(chan_.earliestIssue(Command::kPre, addr(0, 0, 1)),
+              cfg_.timing.tRAS);
+}
+
+TEST_F(DramChannelTest, SameBankActToActWaitsForTrc)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 1), 0);
+    const Tick pre_at = cfg_.timing.tRAS;
+    chan_.issue(Command::kPre, addr(0, 0, 1), pre_at);
+    const Tick earliest = chan_.earliestIssue(Command::kAct,
+                                              addr(0, 0, 2));
+    EXPECT_GE(earliest, cfg_.timing.tRC);
+    EXPECT_GE(earliest, pre_at + cfg_.timing.tRP);
+}
+
+TEST_F(DramChannelTest, SameGroupActUsesLongRrd)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 1), 0);
+    EXPECT_EQ(chan_.earliestIssue(Command::kAct, addr(0, 1, 1)),
+              cfg_.timing.tRRD_L);
+    // Different bank group: short tRRD.
+    EXPECT_EQ(chan_.earliestIssue(Command::kAct, addr(1, 0, 1)),
+              cfg_.timing.tRRD_S);
+}
+
+TEST_F(DramChannelTest, FourActivateWindowLimitsFifthAct)
+{
+    Tick t = 0;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        const Address a = addr(i, 0, 1);
+        t = std::max(t, chan_.earliestIssue(Command::kAct, a));
+        chan_.issue(Command::kAct, a, t);
+    }
+    // The 5th ACT must respect tFAW from the 1st.
+    const Tick first_act = 0;
+    EXPECT_GE(chan_.earliestIssue(Command::kAct, addr(4, 0, 1)),
+              first_act + cfg_.timing.tFAW);
+}
+
+TEST_F(DramChannelTest, ReadDataReturnsAfterClPlusBurst)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 1), 0);
+    const Tick rd_at = cfg_.timing.tRCD;
+    const Tick done = chan_.issue(Command::kRd, addr(0, 0, 1), rd_at);
+    EXPECT_EQ(done, rd_at + cfg_.timing.tCL + cfg_.timing.tBURST);
+}
+
+TEST_F(DramChannelTest, WriteDelaysPrechargeByWriteRecovery)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 1), 0);
+    const Tick wr_at = cfg_.timing.tRCD;
+    chan_.issue(Command::kWr, addr(0, 0, 1), wr_at);
+    const Tick burst_end = wr_at + cfg_.timing.tCWL + cfg_.timing.tBURST;
+    EXPECT_GE(chan_.earliestIssue(Command::kPre, addr(0, 0, 1)),
+              burst_end + cfg_.timing.tWR);
+}
+
+TEST_F(DramChannelTest, RefreshBlocksRankForTrfc)
+{
+    Address rank0;
+    const Tick end = chan_.issue(Command::kRef, rank0, 0);
+    EXPECT_EQ(end, cfg_.timing.tRFC);
+    EXPECT_EQ(chan_.earliestIssue(Command::kAct, addr(3, 2, 9)),
+              cfg_.timing.tRFC);
+    // The other rank is unaffected.
+    EXPECT_EQ(chan_.earliestIssue(Command::kAct, addr(3, 2, 9, 1)), 0u);
+}
+
+TEST_F(DramChannelTest, RefreshRequiresClosedBanks)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 1), 0);
+    Address rank0;
+    // An open bank makes REF unissuable: its earliest-issue time is
+    // pushed to "never", so the timing assertion trips.
+    EXPECT_EQ(chan_.earliestIssue(Command::kRef, rank0),
+              leaky::sim::kTickMax);
+    EXPECT_DEATH(chan_.issue(Command::kRef, rank0, cfg_.timing.tRFC * 2),
+                 "violates timing|REF with open banks");
+}
+
+TEST_F(DramChannelTest, PreAllClosesEveryOpenBank)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 1), 0);
+    Tick t = chan_.earliestIssue(Command::kAct, addr(5, 3, 7));
+    chan_.issue(Command::kAct, addr(5, 3, 7), t);
+    Address rank0;
+    t = chan_.earliestIssue(Command::kPreAll, rank0);
+    chan_.issue(Command::kPreAll, rank0, t);
+    EXPECT_TRUE(chan_.allBanksClosed(0));
+}
+
+TEST_F(DramChannelTest, RfmSameBankBlocksBankInAllGroups)
+{
+    Address target;
+    target.bank = 2;
+    const Tick end = chan_.issue(Command::kRfmSameBank, target, 0);
+    EXPECT_EQ(end, cfg_.timing.tRFM);
+    for (std::uint32_t bg = 0; bg < cfg_.org.bankgroups; ++bg) {
+        EXPECT_GE(chan_.earliestIssue(Command::kAct, addr(bg, 2, 1)),
+                  cfg_.timing.tRFM);
+    }
+    // Other bank indices proceed immediately.
+    EXPECT_EQ(chan_.earliestIssue(Command::kAct, addr(0, 1, 1)), 0u);
+}
+
+TEST_F(DramChannelTest, RfmOneBankBlocksExactlyOneBank)
+{
+    Address target;
+    target.bankgroup = 3;
+    target.bank = 1;
+    chan_.issue(Command::kRfmOneBank, target, 0, 305'000);
+    EXPECT_GE(chan_.earliestIssue(Command::kAct, addr(3, 1, 1)),
+              305'000u);
+    EXPECT_EQ(chan_.earliestIssue(Command::kAct, addr(3, 2, 1)), 0u);
+    EXPECT_EQ(chan_.earliestIssue(Command::kAct, addr(2, 1, 1)), 0u);
+}
+
+TEST_F(DramChannelTest, RfmLatencyOverrideApplies)
+{
+    Address rank0;
+    const Tick end = chan_.issue(Command::kRfmAll, rank0, 0, 123'000);
+    EXPECT_EQ(end, 123'000u);
+}
+
+TEST_F(DramChannelTest, CommandCountsAccumulate)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 1), 0);
+    chan_.issue(Command::kRd, addr(0, 0, 1), cfg_.timing.tRCD);
+    EXPECT_EQ(chan_.commandCount(Command::kAct), 1u);
+    EXPECT_EQ(chan_.commandCount(Command::kRd), 1u);
+    EXPECT_EQ(chan_.commandCount(Command::kWr), 0u);
+}
+
+TEST_F(DramChannelTest, TimingViolationPanics)
+{
+    chan_.issue(Command::kAct, addr(0, 0, 1), 0);
+    EXPECT_DEATH(chan_.issue(Command::kRd, addr(0, 0, 1), 1),
+                 "violates timing");
+}
+
+/** Hook observation: every ACT/PRE is reported with the right row. */
+class RecordingHooks final : public leaky::dram::DeviceHooks
+{
+  public:
+    void
+    onActivate(const Address &a, Tick) override
+    {
+        activates.push_back(a.row);
+    }
+    void
+    onPrecharge(const Address &a, Tick) override
+    {
+        precharges.push_back(a.row);
+    }
+    void onRefresh(std::uint32_t, Tick) override { refreshes += 1; }
+    void
+    onRfm(Command, const Address &, bool, Tick) override
+    {
+        rfms += 1;
+    }
+
+    std::vector<std::uint32_t> activates;
+    std::vector<std::uint32_t> precharges;
+    int refreshes = 0;
+    int rfms = 0;
+};
+
+TEST_F(DramChannelTest, HooksSeeCommandsWithClosingRow)
+{
+    RecordingHooks hooks;
+    chan_.setHooks(&hooks);
+    chan_.issue(Command::kAct, addr(0, 0, 7), 0);
+    chan_.issue(Command::kPre, addr(0, 0, 99), cfg_.timing.tRAS);
+    ASSERT_EQ(hooks.activates.size(), 1u);
+    EXPECT_EQ(hooks.activates[0], 7u);
+    // The precharge hook reports the row that was actually open.
+    ASSERT_EQ(hooks.precharges.size(), 1u);
+    EXPECT_EQ(hooks.precharges[0], 7u);
+}
+
+} // namespace

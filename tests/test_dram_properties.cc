@@ -1,0 +1,172 @@
+/** @file Property/fuzz tests of the DRAM timing engine: thousands of
+ *  random legal command sequences, checking structural invariants.
+ *  The channel's own timing assertions act as the oracle -- any
+ *  sequencing bug panics. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dram/channel.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using leaky::dram::Address;
+using leaky::dram::Command;
+using leaky::dram::DramChannel;
+using leaky::dram::DramConfig;
+using leaky::dram::RowStatus;
+using leaky::sim::Rng;
+using leaky::sim::Tick;
+
+/** Drives random legal command streams against one channel. */
+class RandomCommandDriver
+{
+  public:
+    RandomCommandDriver(DramChannel &chan, std::uint64_t seed)
+        : chan_(chan), cfg_(chan.config()), rng_(seed)
+    {
+    }
+
+    /** Issue one random legal command; returns the command issued. */
+    Command
+    step()
+    {
+        Address a;
+        a.rank = static_cast<std::uint32_t>(rng_.below(cfg_.org.ranks));
+        a.bankgroup = static_cast<std::uint32_t>(
+            rng_.below(cfg_.org.bankgroups));
+        a.bank = static_cast<std::uint32_t>(
+            rng_.below(cfg_.org.banks_per_group));
+        a.row = static_cast<std::uint32_t>(rng_.below(256));
+
+        // Choose a command legal for the current bank state.
+        const auto open = chan_.openRow(a);
+        Command cmd;
+        if (open == DramChannel::kNoRow) {
+            cmd = pick({Command::kAct, Command::kRef, Command::kRfmAll,
+                        Command::kRfmSameBank, Command::kRfmOneBank});
+            // Rank-scope commands need the whole scope closed.
+            if ((cmd == Command::kRef || cmd == Command::kRfmAll) &&
+                !chan_.allBanksClosed(a.rank)) {
+                cmd = Command::kAct;
+            }
+            if (cmd == Command::kRfmSameBank &&
+                !chan_.sameBankClosed(a.rank, a.bank)) {
+                cmd = Command::kAct;
+            }
+        } else {
+            a.row = static_cast<std::uint32_t>(open); // Hit the open row.
+            cmd = pick({Command::kRd, Command::kWr, Command::kPre,
+                        Command::kRd});
+        }
+
+        const Tick earliest = chan_.earliestIssue(cmd, a);
+        EXPECT_NE(earliest, leaky::sim::kTickMax)
+            << leaky::dram::commandName(cmd) << " unissuable";
+        now_ = std::max(now_ + 1, earliest + rng_.below(5'000));
+        chan_.issue(cmd, a, now_);
+        return cmd;
+    }
+
+    Tick now() const { return now_; }
+
+  private:
+    Command
+    pick(std::initializer_list<Command> options)
+    {
+        const auto idx = rng_.below(options.size());
+        return *(options.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+
+    DramChannel &chan_;
+    DramConfig cfg_;
+    Rng rng_;
+    Tick now_ = 0;
+};
+
+/** Fuzz across seeds: no random legal stream may violate timing. */
+class DramFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DramFuzz, RandomLegalStreamsNeverViolateTiming)
+{
+    DramChannel chan(DramConfig::ddr5Paper());
+    RandomCommandDriver driver(chan, GetParam());
+    std::uint64_t issued = 0;
+    for (int i = 0; i < 3000; ++i) {
+        driver.step();
+        issued += 1;
+    }
+    // The per-kind counters account for every issue.
+    std::uint64_t counted = 0;
+    for (std::size_t k = 0; k < leaky::dram::kNumCommands; ++k)
+        counted += chan.commandCount(static_cast<Command>(k));
+    EXPECT_EQ(counted, issued);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramFuzz,
+                         ::testing::Values(1, 7, 42, 1337, 9001, 31415,
+                                           271828, 1618033));
+
+TEST(DramInvariants, EarliestIssueIsMonotoneUnderIdleness)
+{
+    // Waiting longer never makes a command illegal: earliestIssue is a
+    // fixed point once reached.
+    DramChannel chan(DramConfig::ddr5Paper());
+    Address a;
+    a.row = 3;
+    chan.issue(Command::kAct, a, 0);
+    const Tick t1 = chan.earliestIssue(Command::kRd, a);
+    const Tick t2 = chan.earliestIssue(Command::kRd, a);
+    EXPECT_EQ(t1, t2); // Query has no side effects.
+    chan.issue(Command::kRd, a, t1 + 50'000); // Late issue is legal.
+}
+
+TEST(DramInvariants, RowStatusConsistentWithOpenRow)
+{
+    DramChannel chan(DramConfig::ddr5Paper());
+    Rng rng(5);
+    Address a;
+    Tick now = 0;
+    for (int i = 0; i < 500; ++i) {
+        a.bankgroup = static_cast<std::uint32_t>(rng.below(8));
+        a.bank = static_cast<std::uint32_t>(rng.below(4));
+        a.row = static_cast<std::uint32_t>(rng.below(64));
+        const auto open = chan.openRow(a);
+        const auto status = chan.rowStatus(a);
+        if (open == DramChannel::kNoRow) {
+            EXPECT_EQ(status, RowStatus::kEmpty);
+            now = std::max(now, chan.earliestIssue(Command::kAct, a));
+            chan.issue(Command::kAct, a, now);
+        } else if (open == static_cast<std::int32_t>(a.row)) {
+            EXPECT_EQ(status, RowStatus::kHit);
+            now = std::max(now, chan.earliestIssue(Command::kPre, a));
+            chan.issue(Command::kPre, a, now);
+        } else {
+            EXPECT_EQ(status, RowStatus::kConflict);
+            now = std::max(now, chan.earliestIssue(Command::kPre, a));
+            chan.issue(Command::kPre, a, now);
+        }
+    }
+}
+
+TEST(DramInvariants, RefreshLeavesAllBanksClosedAndServiceable)
+{
+    DramChannel chan(DramConfig::ddr5Paper());
+    Address rank0;
+    const Tick end = chan.issue(Command::kRef, rank0, 0);
+    EXPECT_TRUE(chan.allBanksClosed(0));
+    // Right after the window, any bank activates normally.
+    Address a;
+    a.bankgroup = 3;
+    a.bank = 1;
+    a.row = 9;
+    EXPECT_EQ(chan.earliestIssue(Command::kAct, a), end);
+    chan.issue(Command::kAct, a, end);
+    EXPECT_EQ(chan.rowStatus(a), RowStatus::kHit);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/** @file EventQueue unit tests: ordering, cancellation, time limits. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using leaky::sim::EventQueue;
+using leaky::sim::kTickMax;
+using leaky::sim::Tick;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.nextEventTick(), kTickMax);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickRunsInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    const auto handle = eq.schedule(10, [&] { fired += 1; });
+    eq.schedule(20, [&] { fired += 10; });
+    EXPECT_TRUE(eq.cancel(handle));
+    EXPECT_FALSE(eq.cancel(handle)); // Second cancel is a no-op.
+    eq.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitAndAdvancesClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { fired += 1; });
+    eq.schedule(100, [&] { fired += 1; });
+    eq.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        depth += 1;
+        if (depth < 5)
+            eq.scheduleAfter(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(7, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 107u);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue eq;
+    const auto h1 = eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.size(), 2u);
+    eq.cancel(h1);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.size(), 0u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "scheduling into the past");
+}
+
+} // namespace

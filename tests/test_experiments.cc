@@ -1,0 +1,96 @@
+/** @file Smoke tests of the core experiment runners (small sizes). */
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hh"
+#include "core/report.hh"
+
+namespace {
+
+using namespace leaky;
+
+TEST(Experiments, PracAttackSystemUsesPaperOperatingPoint)
+{
+    const auto cfg = core::pracAttackSystem();
+    EXPECT_EQ(cfg.defense.kind, defense::DefenseKind::kPrac);
+    EXPECT_EQ(cfg.defense.nbo_override, 128u);
+    EXPECT_EQ(cfg.defense.rfms_per_backoff, 4u);
+    const auto prfm = core::prfmAttackSystem();
+    EXPECT_EQ(prfm.defense.trfm_override, 40u);
+}
+
+TEST(Experiments, LatencyTraceSeparatesBands)
+{
+    const auto result = core::runLatencyTrace(300);
+    EXPECT_EQ(result.samples.size(), 300u);
+    EXPECT_GT(result.mean_backoff_latency_ns,
+              result.mean_refresh_latency_ns);
+    EXPECT_GT(result.mean_refresh_latency_ns,
+              result.mean_conflict_latency_ns);
+}
+
+TEST(Experiments, ChannelRunProducesMetrics)
+{
+    core::ChannelRunSpec spec;
+    spec.kind = attack::ChannelKind::kPrac;
+    spec.message_bytes = 4;
+    spec.pattern = attack::MessagePattern::kCheckered0;
+    const auto result = core::runChannel(spec);
+    EXPECT_EQ(result.sent.size(), 32u);
+    EXPECT_EQ(result.received.size(), 32u);
+    EXPECT_LE(result.symbol_error, 0.05);
+    EXPECT_GT(result.capacity, 30'000.0);
+}
+
+TEST(Experiments, PerfCellBaselineIsNearUnity)
+{
+    // No defense vs no defense must normalise to ~1.
+    const auto mixes = workload::makeMixes(2, 4, 42);
+    const double ws = core::runPerfCell(defense::DefenseKind::kNone,
+                                        1024, mixes, 4, 50'000);
+    EXPECT_NEAR(ws, 1.0, 0.02);
+}
+
+TEST(Experiments, DefenseCostsPerformanceAtLowNrh)
+{
+    const auto mixes = workload::makeMixes(2, 4, 42);
+    const double high_nrh = core::runPerfCell(
+        defense::DefenseKind::kPrac, 1024, mixes, 4, 50'000);
+    const double low_nrh = core::runPerfCell(
+        defense::DefenseKind::kPrac, 64, mixes, 4, 50'000);
+    EXPECT_GT(high_nrh, low_nrh);
+    EXPECT_LE(high_nrh, 1.01);
+}
+
+TEST(Experiments, FingerprintDatasetShapes)
+{
+    core::FingerprintSpec spec;
+    spec.sites = 3;
+    spec.loads_per_site = 2;
+    spec.duration = sim::kMs;
+    const auto raw = core::collectFingerprints(spec);
+    ASSERT_EQ(raw.size(), 6u);
+    const auto data = core::fingerprintDataset(raw);
+    EXPECT_EQ(data.size(), 6u);
+    EXPECT_EQ(data.n_classes, 3);
+    EXPECT_EQ(data.features(), 39u);
+}
+
+TEST(Report, TableRendersAlignedAndCsv)
+{
+    core::Table table({"a", "bb"});
+    table.addRow({"1", "2"});
+    table.addRow({"333", "4"});
+    const auto text = table.str();
+    EXPECT_NE(text.find("a    bb"), std::string::npos);
+    EXPECT_EQ(table.csv(), "a,bb\n1,2\n333,4\n");
+}
+
+TEST(Report, Formatting)
+{
+    EXPECT_EQ(core::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(core::fmtKbps(39'000.0), "39.0 Kbps");
+    EXPECT_EQ(core::sparkline({0.0, 1.0}).size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+/** @file ML toolkit tests: datasets, every classifier, metrics, CV. */
+
+#include <gtest/gtest.h>
+
+#include "ml/classifier.hh"
+#include "ml/ensemble.hh"
+#include "ml/linear.hh"
+#include "ml/metrics.hh"
+#include "ml/tree.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace leaky::ml;
+
+/** Gaussian-ish blobs: K well-separated classes in 2-D. */
+Dataset
+blobs(int classes, int per_class, double spread, std::uint64_t seed)
+{
+    Dataset data;
+    leaky::sim::Rng rng(seed);
+    for (int c = 0; c < classes; ++c) {
+        const double cx = (c % 4) * 10.0;
+        const double cy = (c / 4) * 10.0;
+        for (int i = 0; i < per_class; ++i) {
+            const double jitter_x = (rng.uniform() - 0.5) * spread;
+            const double jitter_y = (rng.uniform() - 0.5) * spread;
+            data.add({cx + jitter_x, cy + jitter_y}, c);
+        }
+    }
+    return data;
+}
+
+TEST(Dataset, StratifiedSplitKeepsClassBalance)
+{
+    const auto data = blobs(4, 40, 1.0, 1);
+    const auto split = stratifiedSplit(data, 0.25, 7);
+    EXPECT_EQ(split.test.size(), 40u);
+    EXPECT_EQ(split.train.size(), 120u);
+    std::vector<int> per_class(4, 0);
+    for (int y : split.test.y)
+        per_class[static_cast<std::size_t>(y)] += 1;
+    for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(per_class[static_cast<std::size_t>(c)], 10);
+}
+
+TEST(Dataset, KFoldPartitionsEverything)
+{
+    const auto data = blobs(3, 30, 1.0, 2);
+    const auto folds = kFold(data, 5, 3);
+    ASSERT_EQ(folds.size(), 5u);
+    std::size_t total_test = 0;
+    for (const auto &fold : folds) {
+        EXPECT_EQ(fold.train.size() + fold.test.size(), data.size());
+        total_test += fold.test.size();
+    }
+    EXPECT_EQ(total_test, data.size());
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance)
+{
+    Dataset data;
+    data.add({1.0, 100.0}, 0);
+    data.add({3.0, 300.0}, 0);
+    data.add({5.0, 500.0}, 1);
+    Standardizer scaler;
+    scaler.fit(data);
+    const auto scaled = scaler.apply(data);
+    double mean0 = 0.0;
+    for (const auto &row : scaled.x)
+        mean0 += row[0];
+    EXPECT_NEAR(mean0 / 3.0, 0.0, 1e-9);
+}
+
+/** Every Fig. 10 model must master well-separated blobs. */
+class AllModels : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllModels, LearnSeparableBlobs)
+{
+    auto models = makeFig10Models(55);
+    auto &model = models[static_cast<std::size_t>(GetParam())];
+    const auto data = blobs(6, 30, 2.0, 11);
+    const auto split = stratifiedSplit(data, 0.3, 5);
+    model->fit(split.train);
+    const auto cm = evaluate(*model, split.test);
+    EXPECT_GT(cm.accuracy(), 0.85) << model->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig10Zoo, AllModels,
+                         ::testing::Range(0, 8));
+
+TEST(DecisionTree, PerfectlySeparableDataIsMemorised)
+{
+    Dataset data;
+    for (int i = 0; i < 50; ++i)
+        data.add({static_cast<double>(i)}, i < 25 ? 0 : 1);
+    DecisionTree dt;
+    dt.fit(data);
+    const auto cm = evaluate(dt, data);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+}
+
+TEST(DecisionTree, LearnsNonLinearXor)
+{
+    // XOR pattern is out of reach for linear models but easy for trees.
+    Dataset data;
+    leaky::sim::Rng rng(17);
+    for (int i = 0; i < 400; ++i) {
+        const double x = rng.uniform();
+        const double y = rng.uniform();
+        data.add({x, y}, (x > 0.5) != (y > 0.5) ? 1 : 0);
+    }
+    const auto split = stratifiedSplit(data, 0.25, 3);
+    DecisionTree dt;
+    dt.fit(split.train);
+    EXPECT_GT(evaluate(dt, split.test).accuracy(), 0.9);
+
+    LogisticRegression lr;
+    lr.fit(split.train);
+    EXPECT_LT(evaluate(lr, split.test).accuracy(), 0.75);
+}
+
+TEST(RandomForest, OutperformsSingleTreeOnNoisyData)
+{
+    const auto data = blobs(8, 40, 14.0, 23); // Heavily overlapping.
+    const auto split = stratifiedSplit(data, 0.3, 9);
+    TreeConfig tree_cfg;
+    tree_cfg.max_depth = 30;
+    DecisionTree dt(tree_cfg);
+    dt.fit(split.train);
+    RandomForest rf;
+    rf.fit(split.train);
+    const double dt_acc = evaluate(dt, split.test).accuracy();
+    const double rf_acc = evaluate(rf, split.test).accuracy();
+    EXPECT_GE(rf_acc + 0.05, dt_acc);
+}
+
+TEST(Knn, NearestNeighbourWinsOnBlobs)
+{
+    const auto data = blobs(4, 25, 3.0, 31);
+    const auto split = stratifiedSplit(data, 0.2, 13);
+    KNearestNeighbors knn(3);
+    knn.fit(split.train);
+    EXPECT_GT(evaluate(knn, split.test).accuracy(), 0.9);
+}
+
+TEST(ConfusionMatrix, MetricsOnHandComputedCase)
+{
+    ConfusionMatrix cm(2);
+    // Class 0: 8 right, 2 wrong; class 1: 6 right, 4 wrong.
+    for (int i = 0; i < 8; ++i)
+        cm.add(0, 0);
+    for (int i = 0; i < 2; ++i)
+        cm.add(0, 1);
+    for (int i = 0; i < 6; ++i)
+        cm.add(1, 1);
+    for (int i = 0; i < 4; ++i)
+        cm.add(1, 0);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.7);
+    // Precision: class0 = 8/12, class1 = 6/8 -> macro 0.708333.
+    EXPECT_NEAR(cm.macroPrecision(), (8.0 / 12 + 6.0 / 8) / 2, 1e-9);
+    // Recall: class0 = 0.8, class1 = 0.6 -> macro 0.7.
+    EXPECT_NEAR(cm.macroRecall(), 0.7, 1e-9);
+}
+
+TEST(CrossValidation, RunsAllFoldsAndSummarises)
+{
+    const auto data = blobs(4, 30, 2.0, 41);
+    const auto result = crossValidate(
+        [] { return std::make_unique<DecisionTree>(); }, data, 5);
+    EXPECT_EQ(result.folds, 5u);
+    EXPECT_GT(result.accuracy.mean, 0.85);
+    EXPECT_GE(result.f1.mean, 0.8);
+    EXPECT_LT(result.accuracy.stddev, 0.2);
+}
+
+TEST(GradientBoosting, BeatsChanceOnOverlappingBlobs)
+{
+    const auto data = blobs(5, 40, 10.0, 51);
+    const auto split = stratifiedSplit(data, 0.3, 19);
+    GradientBoosting gb;
+    gb.fit(split.train);
+    EXPECT_GT(evaluate(gb, split.test).accuracy(), 0.4); // Chance 0.2.
+}
+
+TEST(AdaBoost, ImprovesOverWeakStumps)
+{
+    const auto data = blobs(3, 60, 6.0, 61);
+    const auto split = stratifiedSplit(data, 0.3, 29);
+    AdaBoostConfig cfg;
+    cfg.max_depth = 1;
+    AdaBoost ada(cfg);
+    ada.fit(split.train);
+    EXPECT_GT(evaluate(ada, split.test).accuracy(), 0.6); // Chance 1/3.
+}
+
+} // namespace

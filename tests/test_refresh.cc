@@ -1,0 +1,66 @@
+/** @file RefreshManager accounting tests. */
+
+#include <gtest/gtest.h>
+
+#include "ctrl/refresh.hh"
+
+namespace {
+
+using leaky::ctrl::RefreshManager;
+
+TEST(RefreshManager, NothingOwedBeforeFirstInterval)
+{
+    RefreshManager rm(3'900'000);
+    rm.update(3'899'999);
+    EXPECT_EQ(rm.owed(), 0u);
+    EXPECT_FALSE(rm.canRefresh());
+    EXPECT_FALSE(rm.mustRefresh());
+}
+
+TEST(RefreshManager, OneOwedPerInterval)
+{
+    RefreshManager rm(1000);
+    rm.update(1000);
+    EXPECT_EQ(rm.owed(), 1u);
+    EXPECT_TRUE(rm.canRefresh());
+    EXPECT_FALSE(rm.mustRefresh()); // Postponing by one allowed.
+    rm.update(2000);
+    EXPECT_EQ(rm.owed(), 2u);
+    EXPECT_TRUE(rm.mustRefresh());
+}
+
+TEST(RefreshManager, LargeJumpAccruesAll)
+{
+    RefreshManager rm(1000);
+    rm.update(5500);
+    EXPECT_EQ(rm.owed(), 5u);
+}
+
+TEST(RefreshManager, IssuingReducesOwed)
+{
+    RefreshManager rm(1000);
+    rm.update(2000);
+    rm.onRefIssued();
+    EXPECT_EQ(rm.owed(), 1u);
+    rm.onRefIssued();
+    EXPECT_EQ(rm.owed(), 0u);
+    rm.onRefIssued(); // No underflow.
+    EXPECT_EQ(rm.owed(), 0u);
+}
+
+TEST(RefreshManager, NextDueAdvances)
+{
+    RefreshManager rm(1000);
+    EXPECT_EQ(rm.nextDue(), 1000u);
+    rm.update(1000);
+    EXPECT_EQ(rm.nextDue(), 2000u);
+}
+
+TEST(RefreshManager, NoPostponingModeForcesImmediately)
+{
+    RefreshManager rm(1000, /*max_postponed=*/1);
+    rm.update(1000);
+    EXPECT_TRUE(rm.mustRefresh());
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/** @file Rng unit and property tests: determinism and uniformity. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace {
+
+using leaky::sim::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic)
+{
+    Rng parent_a(5);
+    Rng parent_b(5);
+    Rng child_a = parent_a.fork();
+    Rng child_b = parent_b.fork();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(child_a(), child_b());
+}
+
+/** Property sweep: below(bound) covers the full range for small bounds. */
+class RngCoverage : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngCoverage, CoversAllValues)
+{
+    const auto bound = GetParam();
+    Rng rng(bound * 7919 + 3);
+    std::vector<bool> seen(bound, false);
+    for (std::uint64_t i = 0; i < bound * 200; ++i)
+        seen[rng.below(bound)] = true;
+    for (std::uint64_t v = 0; v < bound; ++v)
+        EXPECT_TRUE(seen[v]) << "value " << v << " never drawn";
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBounds, RngCoverage,
+                         ::testing::Values(2, 3, 5, 8, 13, 32));
+
+} // namespace

@@ -1,0 +1,102 @@
+/** @file System-level tests: MemoryPort behaviour, routing, retries. */
+
+#include <gtest/gtest.h>
+
+#include "attack/dram_addr.hh"
+#include "defense/factory.hh"
+#include "sys/system.hh"
+
+namespace {
+
+using leaky::defense::DefenseKind;
+using leaky::sim::Tick;
+using leaky::sys::System;
+using leaky::sys::SystemConfig;
+
+TEST(System, ReadCompletesWithFrontendLatency)
+{
+    System system(SystemConfig::paper(DefenseKind::kNone));
+    const auto addr =
+        leaky::attack::rowAddress(system.mapper(), 0, 0, 0, 0, 10);
+    Tick done = 0;
+    system.issueRead(addr, 0, [&done](Tick t) { done = t; });
+    system.run(leaky::sim::kUs);
+    ASSERT_GT(done, 0u);
+    const auto &t = system.controller(0).config().dram.timing;
+    // Two frontend hops + ACT + RCD + CL + burst.
+    const Tick floor = 2 * system.config().frontend_latency + t.tRCD +
+                       t.tCL + t.tBURST;
+    EXPECT_GE(done, floor);
+    EXPECT_LE(done, floor + 20'000);
+}
+
+TEST(System, WritesAreFireAndForget)
+{
+    System system(SystemConfig::paper(DefenseKind::kNone));
+    const auto addr =
+        leaky::attack::rowAddress(system.mapper(), 0, 0, 0, 0, 10);
+    system.issueWrite(addr, 0);
+    system.run(leaky::sim::kUs);
+    EXPECT_EQ(system.controller(0).stats().writes_served, 1u);
+}
+
+TEST(System, FullQueueRetriesUntilServed)
+{
+    SystemConfig cfg = SystemConfig::paper(DefenseKind::kNone);
+    cfg.ctrl.read_queue_depth = 4;
+    System system(cfg);
+    int completions = 0;
+    // Far more requests than queue slots, all to one bank (slow).
+    for (int i = 0; i < 32; ++i) {
+        const auto addr = leaky::attack::rowAddress(
+            system.mapper(), 0, 0, 0, 0,
+            static_cast<std::uint32_t>(i % 2 ? 100 : 200));
+        system.issueRead(addr, 0, [&completions](Tick) {
+            completions += 1;
+        });
+    }
+    system.run(100 * leaky::sim::kUs);
+    EXPECT_EQ(completions, 32);
+}
+
+TEST(System, MultiChannelRoutesByAddress)
+{
+    SystemConfig cfg = SystemConfig::paper(DefenseKind::kNone);
+    cfg.channels = 2;
+    System system(cfg);
+    const auto ch0 =
+        leaky::attack::rowAddress(system.mapper(), 0, 0, 0, 0, 10);
+    const auto ch1 =
+        leaky::attack::rowAddress(system.mapper(), 1, 0, 0, 0, 10);
+    int done = 0;
+    system.issueRead(ch0, 0, [&done](Tick) { done += 1; });
+    system.issueRead(ch1, 0, [&done](Tick) { done += 1; });
+    system.run(leaky::sim::kUs);
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(system.controller(0).stats().reads_served, 1u);
+    EXPECT_EQ(system.controller(1).stats().reads_served, 1u);
+}
+
+TEST(System, PaperPresetMatchesTable1)
+{
+    const auto cfg = SystemConfig::paper(DefenseKind::kPrac);
+    EXPECT_EQ(cfg.ctrl.dram.org.ranks, 2u);
+    EXPECT_EQ(cfg.ctrl.dram.org.bankgroups, 8u);
+    EXPECT_EQ(cfg.ctrl.dram.org.banks_per_group, 4u);
+    EXPECT_EQ(cfg.ctrl.dram.org.rows, 128u * 1024);
+    EXPECT_EQ(cfg.ctrl.read_queue_depth, 64u);
+    EXPECT_EQ(cfg.ctrl.column_cap, 16u);
+}
+
+TEST(System, DefenseBundleAttachedPerChannel)
+{
+    SystemConfig cfg = SystemConfig::paper(DefenseKind::kPrac, 160);
+    cfg.channels = 2;
+    System system(cfg);
+    EXPECT_NE(system.defenseBundle(0).device, nullptr);
+    EXPECT_NE(system.defenseBundle(1).device, nullptr);
+    EXPECT_NE(system.defenseBundle(0).device.get(),
+              system.defenseBundle(1).device.get());
+}
+
+} // namespace
