@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local mirror of the GitHub Actions CI: configure, build, test, and
+# smoke-run the perf harness so benchmark code executes on every PR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Perf smoke: the numbers are meaningless at this min_time; the point
+# is that every benchmark still runs to completion.
+if [ -x "$BUILD_DIR/bench/micro_simulator_throughput" ]; then
+    (cd "$BUILD_DIR" && ./bench/micro_simulator_throughput \
+        --benchmark_min_time=0.01)
+else
+    echo "google-benchmark not found; kernel bench harness skipped"
+fi

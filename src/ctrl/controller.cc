@@ -18,11 +18,13 @@ MemoryController::MemoryController(sim::EventQueue &eq, const CtrlConfig &cfg,
       defense_(&null_defense_),
       ref_issued_(cfg.dram.org.ranks, false),
       abo_rfms_left_(cfg.dram.org.ranks, 0),
-      next_det_ref_(cfg.dram.timing.tREFI)
+      next_det_ref_(cfg.dram.timing.tREFI),
+      tick_event_(sim::memberEvent<&MemoryController::tick>(this)),
+      abo_timer_(sim::memberEvent<&MemoryController::onAboDeadline>(this))
 {
     // Self-clock from t=0 so timers (periodic refresh, FR-RFM grids)
     // run even on an otherwise idle system.
-    eq_.schedule(eq_.now(), [this] { tick(); });
+    eq_.schedule(tick_event_, eq_.now());
 }
 
 void
@@ -46,7 +48,7 @@ MemoryController::notify(PreventiveEvent ev, Tick start, Tick end,
 }
 
 bool
-MemoryController::enqueue(Request req)
+MemoryController::enqueue(Request &&req)
 {
     const bool is_read = req.type == Request::Type::kRead;
     auto &q = is_read ? read_q_ : write_q_;
@@ -59,12 +61,15 @@ MemoryController::enqueue(Request req)
     entry.arrival = eq_.now();
     entry.order = next_order_++;
     entry.req = std::move(req);
+    cfg_.dram.org.annotate(entry.req.addr);
 
     if (!is_read && entry.req.on_complete) {
         // Posted write: completes (from the CPU's view) on acceptance.
-        const Request copy = entry.req;
+        // The callback is moved out of the request -- nothing else needs
+        // it -- so no Request copy is captured.
         const Tick now = eq_.now();
-        eq_.schedule(now, [copy, now] { copy.on_complete(copy, now); });
+        eq_.schedule(now, [cb = std::move(entry.req.on_complete),
+                           now] { cb(now); });
     }
     q.push_back(std::move(entry));
     last_activity_ = eq_.now();
@@ -82,6 +87,7 @@ MemoryController::raiseAlert(const dram::AlertInfo &info)
         BankTask task;
         task.rfm.kind = Command::kRfmOneBank;
         task.rfm.target = info.bank;
+        cfg_.dram.org.annotate(task.rfm.target);
         task.rfm.latency_override = t.tRFM_backoff;
         task.remaining = cfg_.rfms_per_backoff;
         task.active_after = now + t.tAlert + t.tABOACT;
@@ -95,12 +101,16 @@ MemoryController::raiseAlert(const dram::AlertInfo &info)
     alert_wait_ = true;
     alert_at_ = now + t.tAlert;
     abo_deadline_ = alert_at_ + t.tABOACT;
-    eq_.schedule(abo_deadline_, [this] {
-        alert_wait_ = false;
-        abo_pending_ = true;
-        maybeStartAbo();
-        tick();
-    });
+    eq_.reschedule(abo_timer_, abo_deadline_);
+}
+
+void
+MemoryController::onAboDeadline()
+{
+    alert_wait_ = false;
+    abo_pending_ = true;
+    maybeStartAbo();
+    tick();
 }
 
 void
@@ -123,19 +133,14 @@ MemoryController::scheduleWake(Tick when)
     // issued; the wake then lands at next_cmd_at_, which may sit just
     // behind the clock. Clamp rather than schedule into the past.
     when = std::max(when, eq_.now());
-    if (when >= wake_at_)
+    if (tick_event_.scheduled() && tick_event_.when() <= when)
         return;
-    if (wake_ != sim::kNoEvent)
-        eq_.cancel(wake_);
-    wake_at_ = when;
-    wake_ = eq_.schedule(when, [this] { tick(); });
+    eq_.reschedule(tick_event_, when);
 }
 
 void
 MemoryController::tick()
 {
-    wake_ = sim::kNoEvent;
-    wake_at_ = kTickMax;
     const Tick now = eq_.now();
     refresh_.update(now);
 
@@ -224,6 +229,7 @@ MemoryController::pollDefense(Tick now)
         }
         BankTask task;
         task.rfm = *rfm;
+        cfg_.dram.org.annotate(task.rfm.target);
         task.remaining = 1;
         task.active_after = now;
         task.from_alert = false;
@@ -396,14 +402,16 @@ MemoryController::progressPreciseDrain(Tick now)
     return false;
 }
 
-std::vector<Address>
+const std::vector<Address> &
 MemoryController::taskBanks(const BankTask &task) const
 {
-    std::vector<Address> banks;
+    auto &banks = task_banks_scratch_;
+    banks.clear();
     if (task.rfm.kind == Command::kRfmSameBank) {
         for (std::uint32_t bg = 0; bg < cfg_.dram.org.bankgroups; ++bg) {
             Address a = task.rfm.target;
             a.bankgroup = bg;
+            cfg_.dram.org.annotate(a);
             banks.push_back(a);
         }
     } else {
@@ -463,6 +471,22 @@ MemoryController::progressBankTasks(Tick now)
 }
 
 bool
+MemoryController::bankFilterThunk(const void *ctx, const Address &addr)
+{
+    const auto *mc = static_cast<const MemoryController *>(ctx);
+    return mc->bankBlocked(addr, mc->filter_now_);
+}
+
+BankFilter
+MemoryController::bankFilter(Tick now) const
+{
+    if (bank_tasks_.empty())
+        return BankFilter{};
+    filter_now_ = now;
+    return BankFilter{&MemoryController::bankFilterThunk, this};
+}
+
+bool
 MemoryController::bankBlocked(const Address &addr, Tick now) const
 {
     for (const auto &task : bank_tasks_) {
@@ -505,10 +529,7 @@ MemoryController::serveQueues(Tick now)
     if (q.empty())
         return false;
 
-    const auto blocked = [this, now](const Address &a) {
-        return bankBlocked(a, now);
-    };
-    const auto decision = sched_.pick(q, chan_, blocked, now);
+    const auto decision = sched_.pick(q, chan_, bankFilter(now), now);
     if (!decision || decision->earliest > now)
         return false;
 
@@ -520,18 +541,17 @@ MemoryController::serveQueues(Tick now)
 }
 
 void
-MemoryController::issueAndAccount(Command cmd, const QueueEntry &entry,
-                                  Tick now)
+MemoryController::issueAndAccount(Command cmd, QueueEntry &entry, Tick now)
 {
     // NOTE: `entry` aliases into the queue; take what we need up front
     // because chan_.issue() may reenter raiseAlert().
     const Address addr = entry.req.addr;
-    const bool was_hit = chan_.rowStatus(addr) == RowStatus::kHit;
+    const RowStatus status = chan_.rowStatus(addr);
+    const bool was_hit = status == RowStatus::kHit;
 
     if (!entry.classified) {
-        auto &mutable_entry = const_cast<QueueEntry &>(entry);
-        mutable_entry.classified = true;
-        switch (chan_.rowStatus(addr)) {
+        entry.classified = true;
+        switch (status) {
           case RowStatus::kHit: stats_.row_hits += 1; break;
           case RowStatus::kEmpty: stats_.row_misses += 1; break;
           case RowStatus::kConflict: stats_.row_conflicts += 1; break;
@@ -548,8 +568,11 @@ MemoryController::issueAndAccount(Command cmd, const QueueEntry &entry,
         stats_.reads_served += 1;
         stats_.read_latency_sum += done - entry.arrival;
         if (entry.req.on_complete) {
-            const Request copy = entry.req;
-            eq_.schedule(done, [copy, done] { copy.on_complete(copy, done); });
+            // The entry is erased right after this returns; move the
+            // callback into the completion event instead of copying
+            // the whole request.
+            eq_.schedule(done, [cb = std::move(entry.req.on_complete),
+                                done] { cb(done); });
         }
     } else if (cmd == Command::kWr) {
         stats_.writes_served += 1;
@@ -615,10 +638,7 @@ MemoryController::computeNextWake(Tick now)
       case Mode::kNormal: {
         // Queued requests.
         auto &q = activeQueue();
-        const auto blocked = [this, now](const Address &a) {
-            return bankBlocked(a, now);
-        };
-        if (auto d = sched_.pick(q, chan_, blocked, now))
+        if (auto d = sched_.pick(q, chan_, bankFilter(now), now))
             consider(d->earliest);
 
         // Bank tasks (RFMsb / bank back-offs).

@@ -84,10 +84,20 @@ class MemoryController final : public dram::AlertSink
 
     /**
      * Present a request. @return false when the matching queue is full
-     * (the caller retries later). Write completions fire immediately
-     * (posted writes); read completions fire at data-burst end.
+     * (the caller retries later; the request is left intact so it can
+     * be re-presented without copying). Write completions fire
+     * immediately (posted writes); read completions fire at data-burst
+     * end.
      */
-    bool enqueue(Request req);
+    bool enqueue(Request &&req);
+
+    /** Convenience overload for lvalue requests (copies). */
+    bool
+    enqueue(const Request &req)
+    {
+        Request copy = req;
+        return enqueue(std::move(copy));
+    }
 
     dram::DramChannel &channel() { return chan_; }
     const dram::DramChannel &channel() const { return chan_; }
@@ -126,6 +136,7 @@ class MemoryController final : public dram::AlertSink
     };
 
     void tick();
+    void onAboDeadline();
     void scheduleWake(Tick when);
     bool tryIssueOne(Tick now);
     bool progressRefDrain(Tick now);
@@ -135,11 +146,13 @@ class MemoryController final : public dram::AlertSink
     bool serveQueues(Tick now);
     void pollDefense(Tick now);
     void maybeStartAbo();
-    std::vector<Address> taskBanks(const BankTask &task) const;
+    const std::vector<Address> &taskBanks(const BankTask &task) const;
     bool bankBlocked(const Address &addr, Tick now) const;
+    /** Scheduler filter for @p now; empty when no bank task is active. */
+    BankFilter bankFilter(Tick now) const;
+    static bool bankFilterThunk(const void *ctx, const Address &addr);
     Tick computeNextWake(Tick now);
-    void issueAndAccount(dram::Command cmd, const QueueEntry &entry,
-                         Tick now);
+    void issueAndAccount(dram::Command cmd, QueueEntry &entry, Tick now);
     std::deque<QueueEntry> &activeQueue();
     bool servingWrites();
     void notify(PreventiveEvent ev, Tick start, Tick end,
@@ -185,12 +198,19 @@ class MemoryController final : public dram::AlertSink
     std::optional<PreciseTask> precise_;
     Tick next_det_ref_ = 0;
 
-    sim::EventHandle wake_ = sim::kNoEvent;
-    Tick wake_at_ = sim::kTickMax;
+    /** Reusable self-clock event; rescheduled, never re-allocated. */
+    sim::Event tick_event_;
+    /** Reusable ABO-deadline timer (channel-scope alerts). */
+    sim::Event abo_timer_;
     // Livelock detector: consecutive wake-ups at one tick without
     // issuing any command indicate a scheduling bug.
     Tick last_tick_at_ = sim::kTickMax;
     std::uint32_t stalled_ticks_ = 0;
+
+    /** Scratch for taskBanks() (avoids per-call allocation). */
+    mutable std::vector<Address> task_banks_scratch_;
+    /** Tick the current bankFilter() was built for (thunk context). */
+    mutable Tick filter_now_ = 0;
 
     CtrlStats stats_;
 };

@@ -22,6 +22,11 @@ using sim::Tick;
 struct Request {
     enum class Type : std::uint8_t { kRead, kWrite };
 
+    /** Completion callback; receives the completion tick. The controller
+     *  moves it out of the request when arming the completion event, so
+     *  delivering a completion never copies the request. */
+    using Callback = std::function<void(Tick completion)>;
+
     Type type = Type::kRead;
     std::uint64_t phys_addr = 0;
     Address addr; ///< Decoded coordinates (filled by the system front-end).
@@ -29,7 +34,7 @@ struct Request {
 
     /** Invoked when the data burst completes (reads) or when the write is
      *  accepted into the queue (posted writes). */
-    std::function<void(const Request &, Tick completion)> on_complete;
+    Callback on_complete;
 };
 
 /** Aggregate controller statistics. */

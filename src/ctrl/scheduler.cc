@@ -11,7 +11,8 @@ using dram::RowStatus;
 
 FrFcfsScheduler::FrFcfsScheduler(const dram::Organization &org,
                                  std::uint32_t column_cap)
-    : org_(org), cap_(column_cap), hit_streak_(org.totalBanks(), 0)
+    : org_(org), cap_(column_cap), hit_streak_(org.totalBanks(), 0),
+      oldest_nonhit_(org.totalBanks(), ~std::uint64_t{0})
 {
 }
 
@@ -35,50 +36,50 @@ FrFcfsScheduler::pick(const std::deque<QueueEntry> &queue,
                       const dram::DramChannel &chan,
                       const BankFilter &blocked, Tick now) const
 {
-    // Pass 1: oldest row-hit whose bank's streak is under the cap, unless
-    // an older non-hit request waits on the same bank past the cap.
+    if (queue.empty())
+        return std::nullopt;
+
+    // Pass 1: classify every entry once (row status is cached in
+    // status_ for the second pass) and track, per bank, the oldest
+    // non-hit entry -- the column cap needs it. A "blocked" bank
+    // (pending RFM / bank back-off) may still serve column accesses to
+    // its open row -- only new activations must wait, mirroring DDR5
+    // RAA semantics where the open row remains usable until the RFM is
+    // slotted in.
+    constexpr std::uint8_t kUnusable = 0xff;
+    status_.resize(queue.size());
+    std::fill(oldest_nonhit_.begin(), oldest_nonhit_.end(),
+              ~std::uint64_t{0});
+
     std::optional<std::size_t> best_hit;
     std::optional<std::size_t> oldest_any;
 
-    // A "blocked" bank (pending RFM / bank back-off) may still serve
-    // column accesses to its open row -- only new activations must
-    // wait, mirroring DDR5 RAA semantics where the open row remains
-    // usable until the RFM is slotted in.
-    const auto usable = [&](const QueueEntry &e) {
-        return !blocked(e.req.addr) ||
-               chan.rowStatus(e.req.addr) == RowStatus::kHit;
-    };
-
-    // For the column cap we need, per bank, whether an older-than-the-hit
-    // non-hit request exists. Track the oldest non-hit entry per bank.
-    std::vector<std::uint64_t> oldest_nonhit(org_.totalBanks(),
-                                             ~std::uint64_t{0});
     for (std::size_t i = 0; i < queue.size(); ++i) {
         const auto &e = queue[i];
-        if (!usable(e))
+        const RowStatus st = chan.rowStatus(e.req.addr);
+        if (st != RowStatus::kHit && blocked(e.req.addr)) {
+            status_[i] = kUnusable;
             continue;
-        if (chan.rowStatus(e.req.addr) != RowStatus::kHit) {
-            const auto fb = org_.flatBank(e.req.addr.rank,
-                                          e.req.addr.bankgroup,
-                                          e.req.addr.bank);
-            oldest_nonhit[fb] = std::min(oldest_nonhit[fb], e.order);
+        }
+        status_[i] = static_cast<std::uint8_t>(st);
+        if (!oldest_any || queue[*oldest_any].order > e.order)
+            oldest_any = i;
+        if (st != RowStatus::kHit) {
+            const auto fb = org_.flatOf(e.req.addr);
+            oldest_nonhit_[fb] = std::min(oldest_nonhit_[fb], e.order);
         }
     }
 
+    // Pass 2: oldest row-hit whose bank's streak is under the cap,
+    // unless an older non-hit request waits on the same bank past the
+    // cap.
     for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (status_[i] != static_cast<std::uint8_t>(RowStatus::kHit))
+            continue;
         const auto &e = queue[i];
-        if (!usable(e))
-            continue;
-        if (!oldest_any ||
-            queue[*oldest_any].order > e.order) {
-            oldest_any = i;
-        }
-        if (chan.rowStatus(e.req.addr) != RowStatus::kHit)
-            continue;
-        const auto fb = org_.flatBank(e.req.addr.rank, e.req.addr.bankgroup,
-                                      e.req.addr.bank);
+        const auto fb = org_.flatOf(e.req.addr);
         const bool capped = hit_streak_[fb] >= cap_ &&
-                            oldest_nonhit[fb] < e.order;
+                            oldest_nonhit_[fb] < e.order;
         if (capped)
             continue;
         if (!best_hit || queue[*best_hit].order > e.order)
@@ -91,8 +92,8 @@ FrFcfsScheduler::pick(const std::deque<QueueEntry> &queue,
         return std::nullopt;
 
     const auto &entry = queue[*choice];
-    const Command cmd = nextCommandFor(entry.req,
-                                       chan.rowStatus(entry.req.addr));
+    const Command cmd = nextCommandFor(
+        entry.req, static_cast<RowStatus>(status_[*choice]));
     SchedDecision d;
     d.index = *choice;
     d.cmd = cmd;
@@ -104,7 +105,7 @@ void
 FrFcfsScheduler::onIssue(const Address &addr, dram::Command cmd,
                          bool was_hit)
 {
-    const auto fb = org_.flatBank(addr.rank, addr.bankgroup, addr.bank);
+    const auto fb = org_.flatOf(addr);
     if ((cmd == Command::kRd || cmd == Command::kWr) && was_hit) {
         hit_streak_[fb] += 1;
     } else if (cmd == Command::kAct) {

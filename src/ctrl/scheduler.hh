@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -29,6 +28,25 @@ struct QueueEntry {
     bool classified = false; ///< Hit/miss/conflict stat recorded yet?
 };
 
+/**
+ * Predicate over banks the scheduler must not activate (pending RFM /
+ * bank-level back-off). A plain (function pointer, context) pair so the
+ * controller can pass it on every tick without constructing a
+ * std::function; default-constructed means "nothing blocked".
+ */
+struct BankFilter {
+    using Fn = bool (*)(const void *ctx, const Address &);
+
+    Fn fn = nullptr;
+    const void *ctx = nullptr;
+
+    bool
+    operator()(const Address &a) const
+    {
+        return fn != nullptr && fn(ctx, a);
+    }
+};
+
 /** First DRAM command needed to serve a request given row-buffer state. */
 dram::Command nextCommandFor(const Request &req, dram::RowStatus status);
 
@@ -43,8 +61,6 @@ struct SchedDecision {
 class FrFcfsScheduler
 {
   public:
-    using BankFilter = std::function<bool(const Address &)>;
-
     FrFcfsScheduler(const dram::Organization &org, std::uint32_t column_cap);
 
     /**
@@ -72,6 +88,12 @@ class FrFcfsScheduler
     dram::Organization org_;
     std::uint32_t cap_;
     std::vector<std::uint32_t> hit_streak_; ///< Per flat bank.
+
+    // Per-pick scratch, reused across calls to keep the hot path free
+    // of heap allocation (pick() runs at least twice per controller
+    // tick: once to serve, once to compute the next wake-up).
+    mutable std::vector<std::uint64_t> oldest_nonhit_; ///< Per flat bank.
+    mutable std::vector<std::uint8_t> status_;         ///< Per queue slot.
 };
 
 } // namespace leaky::ctrl

@@ -24,7 +24,7 @@ PracDefense::PracDefense(const dram::DramConfig &dram_cfg,
 std::uint32_t
 PracDefense::flatBank(const Address &a) const
 {
-    return dram_cfg_.org.flatBank(a.rank, a.bankgroup, a.bank);
+    return dram_cfg_.org.flatOf(a);
 }
 
 std::uint32_t

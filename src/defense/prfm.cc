@@ -24,15 +24,13 @@ PrfmDefense::pairIndex(std::uint32_t rank, std::uint32_t bank) const
 std::uint32_t
 PrfmDefense::raaCount(const Address &addr) const
 {
-    return raa_[dram_cfg_.org.flatBank(addr.rank, addr.bankgroup,
-                                       addr.bank)];
+    return raa_[dram_cfg_.org.flatOf(addr)];
 }
 
 void
 PrfmDefense::onActivate(const Address &addr, Tick)
 {
-    const auto fb = dram_cfg_.org.flatBank(addr.rank, addr.bankgroup,
-                                           addr.bank);
+    const auto fb = dram_cfg_.org.flatOf(addr);
     raa_[fb] += 1;
     const auto pair = pairIndex(addr.rank, addr.bank);
     if (raa_[fb] >= cfg_.trfm && !inflight_[pair]) {

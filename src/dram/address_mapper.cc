@@ -10,8 +10,10 @@ AddressMapper::AddressMapper(const Organization &org, std::uint32_t channels,
 {
     LEAKY_ASSERT(channels_ > 0, "need at least one channel");
     std::uint64_t lines = 1;
-    for (Field f : order_)
-        lines *= fieldSize(f);
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        sizes_[i] = fieldSize(order_[i]);
+        lines *= sizes_[i];
+    }
     capacity_ = lines * kLineBytes;
 }
 
@@ -34,11 +36,11 @@ AddressMapper::decode(std::uint64_t phys_addr) const
 {
     std::uint64_t line = (phys_addr % capacity_) / kLineBytes;
     Address out;
-    for (Field f : order_) {
-        const std::uint32_t size = fieldSize(f);
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        const std::uint32_t size = sizes_[i];
         const auto digit = static_cast<std::uint32_t>(line % size);
         line /= size;
-        switch (f) {
+        switch (order_[i]) {
           case Field::kColumn: out.column = digit; break;
           case Field::kBankGroup: out.bankgroup = digit; break;
           case Field::kBank: out.bank = digit; break;
@@ -47,6 +49,9 @@ AddressMapper::decode(std::uint64_t phys_addr) const
           case Field::kChannel: out.channel = digit; break;
         }
     }
+    // Hot paths downstream (channel, scheduler, defenses) index by flat
+    // bank; cache it once here instead of re-deriving per command.
+    org_.annotate(out);
     return out;
 }
 

@@ -60,6 +60,7 @@ class AddressMapper
     Organization org_;
     std::uint32_t channels_;
     std::array<Field, 6> order_;
+    std::array<std::uint32_t, 6> sizes_{}; ///< fieldSize per order_ slot.
     std::uint64_t capacity_;
 };
 

@@ -20,25 +20,25 @@ DramChannel::DramChannel(const DramConfig &cfg)
 DramChannel::BankState &
 DramChannel::bank(const Address &a)
 {
-    return banks_[cfg_.org.flatBank(a.rank, a.bankgroup, a.bank)];
+    return banks_[cfg_.org.flatOf(a)];
 }
 
 const DramChannel::BankState &
 DramChannel::bank(const Address &a) const
 {
-    return banks_[cfg_.org.flatBank(a.rank, a.bankgroup, a.bank)];
+    return banks_[cfg_.org.flatOf(a)];
 }
 
 DramChannel::GroupState &
 DramChannel::group(const Address &a)
 {
-    return groups_[a.rank * cfg_.org.bankgroups + a.bankgroup];
+    return groups_[cfg_.org.groupOf(a)];
 }
 
 const DramChannel::GroupState &
 DramChannel::group(const Address &a) const
 {
-    return groups_[a.rank * cfg_.org.bankgroups + a.bankgroup];
+    return groups_[cfg_.org.groupOf(a)];
 }
 
 void
@@ -151,7 +151,10 @@ Tick
 DramChannel::issue(Command cmd, const Address &addr, Tick now,
                    Tick rfm_latency, bool during_backoff)
 {
-    LEAKY_ASSERT(now >= earliestIssue(cmd, addr),
+    // Re-deriving earliestIssue() here would double the per-command
+    // work, so this is debug-only; the controller is responsible for
+    // never issuing early.
+    LEAKY_DCHECK(now >= earliestIssue(cmd, addr),
                  "%s to %s violates timing (now=%llu, earliest=%llu)",
                  commandName(cmd), addr.str().c_str(),
                  static_cast<unsigned long long>(now),
@@ -238,6 +241,8 @@ DramChannel::issuePreAll(std::uint32_t rank, Tick now)
         closing.bankgroup = i / cfg_.org.banks_per_group;
         closing.bank = i % cfg_.org.banks_per_group;
         closing.row = static_cast<std::uint32_t>(b.open_row);
+        closing.flat_bank = rank * per_rank + i;
+        closing.flat_group = closing.flat_bank / cfg_.org.banks_per_group;
         b.open_row = kNoRow;
         b.closed_at = now + cfg_.timing.tRP;
         bump(b.next_act, now + cfg_.timing.tRP);

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "dram/types.hh"
+#include "sim/logging.hh"
 #include "sim/tick.hh"
 
 namespace leaky::dram {
@@ -34,6 +36,41 @@ struct Organization {
     flatBank(std::uint32_t rank, std::uint32_t bg, std::uint32_t bank) const
     {
         return (rank * bankgroups + bg) * banks_per_group + bank;
+    }
+
+    /** Fill the cached flat indices of @p a (see Address::flat_bank). */
+    void
+    annotate(Address &a) const
+    {
+        a.flat_group = a.rank * bankgroups + a.bankgroup;
+        a.flat_bank = a.flat_group * banks_per_group + a.bank;
+    }
+
+    /** Cached-or-computed flat bank index of @p a. */
+    std::uint32_t
+    flatOf(const Address &a) const
+    {
+        if (a.flat_bank != Address::kNoFlat) {
+            LEAKY_DCHECK(a.flat_bank ==
+                             flatBank(a.rank, a.bankgroup, a.bank),
+                         "stale flat_bank cache (%u) on %s", a.flat_bank,
+                         a.str().c_str());
+            return a.flat_bank;
+        }
+        return flatBank(a.rank, a.bankgroup, a.bank);
+    }
+
+    /** Cached-or-computed flat bank-group index of @p a. */
+    std::uint32_t
+    groupOf(const Address &a) const
+    {
+        if (a.flat_group != Address::kNoFlat) {
+            LEAKY_DCHECK(a.flat_group == a.rank * bankgroups + a.bankgroup,
+                         "stale flat_group cache (%u) on %s", a.flat_group,
+                         a.str().c_str());
+            return a.flat_group;
+        }
+        return a.rank * bankgroups + a.bankgroup;
     }
 };
 

@@ -33,12 +33,26 @@ const char *commandName(Command cmd);
 
 /** Coordinates of a cache-line-sized column within the DRAM hierarchy. */
 struct Address {
+    /** Sentinel for unset cached flat indices. */
+    static constexpr std::uint32_t kNoFlat = ~std::uint32_t{0};
+
     std::uint32_t channel = 0;
     std::uint32_t rank = 0;
     std::uint32_t bankgroup = 0;
     std::uint32_t bank = 0; ///< Bank index within the bank group.
     std::uint32_t row = 0;
     std::uint32_t column = 0; ///< Cache-line index within the row.
+
+    /**
+     * Cached flat (rank, bankgroup, bank) index within the channel,
+     * filled by AddressMapper::decode / Organization::annotate so the
+     * channel and scheduler hot paths skip the flattening multiplies.
+     * kNoFlat means "not cached"; consumers fall back to computing it.
+     * Mutating rank/bankgroup/bank invalidates the cache -- re-annotate.
+     */
+    std::uint32_t flat_bank = kNoFlat;
+    /** Cached flat (rank, bankgroup) index; see flat_bank. */
+    std::uint32_t flat_group = kNoFlat;
 
     bool
     sameBank(const Address &o) const

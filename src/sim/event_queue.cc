@@ -4,67 +4,241 @@
 
 namespace leaky::sim {
 
-EventHandle
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::~EventQueue()
+{
+    // Unbind pending member events so their destructors do not call
+    // back into this (already dying) queue.
+    for (Record &r : slab_) {
+        if (r.next_free == kLiveMark && r.bound) {
+            r.bound->handle_ = kNoEvent;
+            r.bound->queue_ = nullptr;
+        }
+    }
+    // Slab destruction runs ~SmallFn on any undelivered one-shots.
+}
+
+void
+EventQueue::checkFuture(Tick when) const
 {
     LEAKY_ASSERT(when >= now_,
                  "scheduling into the past (%llu < %llu)",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(now_));
-    const EventHandle handle = next_seq_++;
-    heap_.push(Entry{when, handle, handle});
-    callbacks_.emplace(handle, std::move(cb));
-    return handle;
+}
+
+std::uint32_t
+EventQueue::claimSlot()
+{
+    if (free_head_ == kNoFreeSlot)
+        growPool();
+    const std::uint32_t idx = free_head_;
+    Record &r = record(idx);
+    free_head_ = r.next_free;
+    r.next_free = kLiveMark;
+    r.bound = nullptr;
+    return idx;
+}
+
+void
+EventQueue::commitSlot(std::uint32_t idx, Tick when)
+{
+    pushHeap(when, next_seq_++, idx, record(idx).gen);
+    live_ += 1;
+}
+
+void
+EventQueue::abortClaim(std::uint32_t idx)
+{
+    // The slot was never published; its generation never escaped, so
+    // no bump is needed.
+    Record &r = record(idx);
+    r.next_free = free_head_;
+    free_head_ = idx;
+}
+
+void
+EventQueue::freeSlot(std::uint32_t idx)
+{
+    Record &r = record(idx);
+    r.fn.reset();
+    r.bound = nullptr;
+    r.gen += 1;
+    r.next_free = free_head_;
+    free_head_ = idx;
+}
+
+void
+EventQueue::growPool()
+{
+    const std::size_t base = slab_.size();
+    LEAKY_ASSERT(base + kChunkSize < kLiveMark, "event pool exhausted");
+    slab_.resize(base + kChunkSize);
+    stats_.pool_chunks += 1;
+    // Link the fresh records onto the free list, preserving index order.
+    for (std::size_t i = base + kChunkSize; i > base; --i) {
+        slab_[i - 1].next_free = free_head_;
+        free_head_ = static_cast<std::uint32_t>(i - 1);
+    }
+}
+
+void
+EventQueue::pushHeap(Tick when, std::uint64_t seq, std::uint32_t idx,
+                     std::uint32_t gen)
+{
+    // Sift up with a hole instead of repeated swaps.
+    heap_.emplace_back();
+    std::size_t hole = heap_.size() - 1;
+    const HeapEntry entry{when, seq, idx, gen};
+    while (hole > 0) {
+        const std::size_t parent = (hole - 1) / 2;
+        if (!entry.before(heap_[parent]))
+            break;
+        heap_[hole] = heap_[parent];
+        hole = parent;
+    }
+    heap_[hole] = entry;
+}
+
+void
+EventQueue::popHeap() const
+{
+    // Move the last entry into a hole sifted down from the root.
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0)
+        return;
+    std::size_t hole = 0;
+    while (true) {
+        std::size_t child = 2 * hole + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && heap_[child + 1].before(heap_[child]))
+            child += 1;
+        if (!heap_[child].before(last))
+            break;
+        heap_[hole] = heap_[child];
+        hole = child;
+    }
+    heap_[hole] = last;
+}
+
+bool
+EventQueue::skipDead() const
+{
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.front();
+        const Record &r = record(top.idx);
+        if (r.gen == top.gen && r.next_free == kLiveMark)
+            return true;
+        popHeap();
+    }
+    return false;
 }
 
 bool
 EventQueue::cancel(EventHandle handle)
 {
-    return callbacks_.erase(handle) > 0;
+    if (handle == kNoEvent)
+        return false;
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(handle & 0xffffffffu) - 1;
+    const std::uint32_t gen = static_cast<std::uint32_t>(handle >> 32);
+    if (idx >= slab_.size())
+        return false;
+    Record &r = record(idx);
+    if (r.next_free != kLiveMark || r.gen != gen)
+        return false; // Stale: executed, cancelled, or slot reused.
+    if (r.bound) {
+        r.bound->handle_ = kNoEvent;
+        r.bound->queue_ = nullptr;
+    }
+    freeSlot(idx);
+    live_ -= 1;
+    return true;
 }
 
 void
-EventQueue::skipDead() const
+EventQueue::schedule(Event &ev, Tick when)
 {
-    while (!heap_.empty() &&
-           callbacks_.find(heap_.top().handle) == callbacks_.end()) {
-        heap_.pop();
-    }
+    LEAKY_ASSERT(ev.fn_ != nullptr, "scheduling an unbound event");
+    LEAKY_ASSERT(!ev.scheduled(),
+                 "event already scheduled (use reschedule)");
+    checkFuture(when);
+    const std::uint32_t idx = claimSlot();
+    Record &r = record(idx);
+    r.bound = &ev;
+    ev.queue_ = this;
+    ev.handle_ = makeHandle(idx, r.gen);
+    ev.when_ = when;
+    commitSlot(idx, when);
+}
+
+void
+EventQueue::reschedule(Event &ev, Tick when)
+{
+    if (ev.scheduled())
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+bool
+EventQueue::deschedule(Event &ev)
+{
+    if (!ev.scheduled())
+        return false;
+    LEAKY_ASSERT(ev.queue_ == this,
+                 "descheduling an event pending on another queue");
+    const bool cancelled = cancel(ev.handle_);
+    LEAKY_ASSERT(cancelled, "scheduled event had a stale handle");
+    return true;
 }
 
 Tick
 EventQueue::nextEventTick() const
 {
-    skipDead();
-    return heap_.empty() ? kTickMax : heap_.top().when;
+    return skipDead() ? heap_.front().when : kTickMax;
+}
+
+void
+EventQueue::runTop()
+{
+    const HeapEntry top = heap_.front();
+    popHeap();
+    Record &r = record(top.idx);
+
+    now_ = top.when;
+    live_ -= 1;
+    stats_.events_run += 1;
+
+    if (Event *ev = r.bound) {
+        // Release the slot and clear the handle before invoking so the
+        // callback can immediately reschedule the same event.
+        freeSlot(top.idx);
+        ev->handle_ = kNoEvent;
+        ev->queue_ = nullptr;
+        ev->fn_(ev->ctx_);
+    } else {
+        SmallFn fn = std::move(r.fn);
+        freeSlot(top.idx);
+        fn();
+    }
 }
 
 bool
 EventQueue::step()
 {
-    skipDead();
-    if (heap_.empty())
+    if (!skipDead())
         return false;
-
-    const Entry entry = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(entry.handle);
-    LEAKY_ASSERT(it != callbacks_.end(), "live event lost its callback");
-
-    now_ = entry.when;
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    cb();
+    runTop();
     return true;
 }
 
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (nextEventTick() <= limit) {
-        if (!step())
-            break;
-    }
+    while (skipDead() && heap_.front().when <= limit)
+        runTop();
     // All remaining events (if any) lie strictly after the limit, so the
     // clock can safely advance to it.
     if (limit != kTickMax && now_ < limit)

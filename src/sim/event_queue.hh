@@ -2,65 +2,289 @@
  * @file
  * Discrete-event simulation kernel. Components schedule callbacks at
  * absolute ticks; the queue executes them in (tick, insertion-order)
- * order so simulations are fully deterministic. Scheduled events can be
- * cancelled via the EventHandle returned by schedule().
+ * order so simulations are fully deterministic.
+ *
+ * The kernel is intrusive and slab-allocated: every scheduled occurrence
+ * lives in a pooled Record (chunked slab, stable addresses, free-list
+ * reuse) identified by a generation-counted handle, and a binary heap of
+ * record indices orders execution. Steady-state scheduling performs no
+ * heap allocation:
+ *
+ *  - reusable, member-bound Events (see sim::Event) carry only an
+ *    object pointer and a function-pointer thunk;
+ *  - one-shot callables are stored in a small-buffer SmallFn; only
+ *    captures larger than SmallFn::kInlineBytes spill to the heap
+ *    (counted in KernelStats::one_shot_spills);
+ *  - cancellation bumps the record's generation instead of erasing from
+ *    a map; stale heap entries are skipped lazily at pop time.
  */
 
 #ifndef LEAKY_SIM_EVENT_QUEUE_HH
 #define LEAKY_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/tick.hh"
 
 namespace leaky::sim {
 
-/** Identifier of a scheduled event, usable for cancellation. */
+/** Identifier of one scheduled occurrence, usable for cancellation.
+ *  Encodes (slot generation << 32) | (slot index + 1). */
 using EventHandle = std::uint64_t;
 
 /** Sentinel handle meaning "no event". */
 inline constexpr EventHandle kNoEvent = 0;
 
+class EventQueue;
+
+/**
+ * Type-erased move-only callable with a small inline buffer. Callables
+ * up to kInlineBytes are stored in place (no heap allocation); larger
+ * ones spill to a single heap cell.
+ */
+class SmallFn
+{
+  public:
+    static constexpr std::size_t kInlineBytes = 48;
+
+    SmallFn() = default;
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    SmallFn(SmallFn &&other) noexcept { moveFrom(other); }
+
+    SmallFn &
+    operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    ~SmallFn() { reset(); }
+
+    /** Store @p fn. @return true when it fit the inline buffer. */
+    template <typename F>
+    bool
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_v<Fn &>,
+                      "SmallFn payload must be callable with no args");
+        reset();
+        // Inline storage requires a nothrow move: relocation happens
+        // inside noexcept moves (and slab growth); a throwing-move
+        // payload goes to the heap cell, whose relocation only copies
+        // a pointer.
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            ops_ = &kInlineOps<Fn>;
+            return true;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(fn)));
+            ops_ = &kHeapOps<Fn>;
+            return false;
+        }
+    }
+
+    void operator()() { ops_->invoke(buf_); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops {
+        void (*invoke)(void *);
+        void (*relocate)(void *dst, void *src); ///< Move + destroy src.
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn> static const Ops kInlineOps;
+    template <typename Fn> static const Ops kHeapOps;
+
+    void
+    moveFrom(SmallFn &other)
+    {
+        ops_ = other.ops_;
+        if (ops_)
+            ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+template <typename Fn>
+const SmallFn::Ops SmallFn::kInlineOps = {
+    [](void *p) { (*static_cast<Fn *>(p))(); },
+    [](void *dst, void *src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+        static_cast<Fn *>(src)->~Fn();
+    },
+    [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+};
+
+template <typename Fn>
+const SmallFn::Ops SmallFn::kHeapOps = {
+    [](void *p) { (**static_cast<Fn **>(p))(); },
+    [](void *dst, void *src) {
+        ::new (dst) Fn *(*static_cast<Fn **>(src));
+    },
+    [](void *p) { delete *static_cast<Fn **>(p); },
+};
+
+/**
+ * A reusable, member-bound event: one object a component owns for its
+ * lifetime and schedules over and over (self-clock ticks, deadlines,
+ * timers). Scheduling a bound Event never allocates: the kernel stores
+ * only the (context, thunk) pair. An Event may be scheduled at most
+ * once at a time; use EventQueue::reschedule to move a pending one.
+ *
+ * Events must not outlive the queue they are scheduled on.
+ */
+class Event
+{
+  public:
+    using Fn = void (*)(void *ctx);
+
+    Event() = default;
+    Event(void *ctx, Fn fn) : ctx_(ctx), fn_(fn) {}
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+    inline ~Event(); ///< Deschedules itself if still pending.
+
+    /** (Re)bind the callback; only valid while not scheduled. */
+    void
+    bind(void *ctx, Fn fn)
+    {
+        ctx_ = ctx;
+        fn_ = fn;
+    }
+
+    bool scheduled() const { return handle_ != kNoEvent; }
+
+    /** Tick of the pending occurrence (valid only while scheduled()). */
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    void *ctx_ = nullptr;
+    Fn fn_ = nullptr;
+    EventQueue *queue_ = nullptr;
+    EventHandle handle_ = kNoEvent;
+    Tick when_ = 0;
+};
+
+/** Build an Event bound to a member function of @p obj, e.g.
+ *  `memberEvent<&MemoryController::tick>(this)`. */
+template <auto Method, typename T>
+Event
+memberEvent(T *obj)
+{
+    return Event(obj, [](void *ctx) { (static_cast<T *>(ctx)->*Method)(); });
+}
+
 /**
  * Deterministic discrete-event queue.
  *
- * Events with equal ticks run in schedule order. Cancellation is lazy:
- * cancelled entries stay in the heap and are skipped when popped.
+ * Events with equal ticks run in schedule order. Cancellation bumps the
+ * slot's generation; stale heap entries are skipped when popped.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Kernel health/perf counters (all monotonic). */
+    struct KernelStats {
+        std::uint64_t events_run = 0;      ///< Callbacks executed.
+        std::uint64_t one_shot_spills = 0; ///< Captures too big for SBO.
+        std::uint64_t pool_chunks = 0;     ///< Slab chunks allocated.
+    };
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /** True when no live events remain. */
-    bool empty() const { return callbacks_.empty(); }
+    bool empty() const { return live_ == 0; }
 
     /** Number of live (non-cancelled, unexecuted) events. */
-    std::size_t size() const { return callbacks_.size(); }
+    std::size_t size() const { return live_; }
 
     /**
-     * Schedule @p cb to run at absolute time @p when (>= now()).
+     * Schedule @p fn to run at absolute time @p when (>= now()).
      * @return handle for cancel().
      */
-    EventHandle schedule(Tick when, Callback cb);
-
-    /** Schedule @p cb to run @p delay ticks from now. */
+    template <typename F>
     EventHandle
-    scheduleAfter(Tick delay, Callback cb)
+    schedule(Tick when, F &&fn)
     {
-        return schedule(now_ + delay, std::move(cb));
+        static_assert(std::is_invocable_v<std::decay_t<F> &>,
+                      "event callback must be invocable with no args");
+        checkFuture(when);
+        const std::uint32_t idx = claimSlot();
+        Record &r = record(idx);
+        // Store the callable before the slot is published on the heap:
+        // if construction throws (e.g. bad_alloc on a spilled capture),
+        // no live-but-empty record must be reachable.
+        try {
+            if (!r.fn.emplace(std::forward<F>(fn)))
+                stats_.one_shot_spills += 1;
+        } catch (...) {
+            abortClaim(idx);
+            throw;
+        }
+        commitSlot(idx, when);
+        return makeHandle(idx, r.gen);
     }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    template <typename F>
+    EventHandle
+    scheduleAfter(Tick delay, F &&fn)
+    {
+        return schedule(now_ + delay, std::forward<F>(fn));
+    }
+
+    /** Schedule a bound event at @p when. It must not be pending. */
+    void schedule(Event &ev, Tick when);
+
+    /** Schedule a bound event @p delay ticks from now. */
+    void scheduleAfter(Event &ev, Tick delay) { schedule(ev, now_ + delay); }
+
+    /** Move a bound event to @p when, whether or not it is pending. */
+    void reschedule(Event &ev, Tick when);
+
+    /** Cancel a pending bound event. @return true if it was pending. */
+    bool deschedule(Event &ev);
 
     /**
      * Cancel a previously scheduled event.
-     * @return true if the event was live and is now cancelled.
+     * @return true if the event was live and is now cancelled; false for
+     * stale handles (already executed, cancelled, or slot reused).
      */
     bool cancel(EventHandle handle);
 
@@ -76,29 +300,98 @@ class EventQueue
     /** Tick of the next live event, or kTickMax when empty. */
     Tick nextEventTick() const;
 
+    const KernelStats &kernelStats() const { return stats_; }
+
+    /** Total slots in the slab (grows in chunks, never shrinks). */
+    std::size_t poolCapacity() const { return slab_.size(); }
+
   private:
-    struct Entry {
+    static constexpr std::uint32_t kChunkSize = 256; ///< Pool growth step.
+    static constexpr std::uint32_t kNoFreeSlot = ~std::uint32_t{0};
+    /** next_free value marking a live (allocated) record. */
+    static constexpr std::uint32_t kLiveMark = kNoFreeSlot - 1;
+
+    /**
+     * One pooled occurrence: a heap slot's payload. Ordering keys
+     * (tick, seq) live only in the heap entry; the record holds the
+     * callable plus the generation that validates handles. gen and
+     * next_free lead so the staleness check in skipDead() touches the
+     * record's first cache line only.
+     */
+    struct Record {
+        std::uint32_t gen = 1;  ///< Bumped on free; validates handles.
+        std::uint32_t next_free = kNoFreeSlot;
+        Event *bound = nullptr; ///< Non-null for member-bound events.
+        SmallFn fn;             ///< One-shot callable otherwise.
+    };
+
+    struct HeapEntry {
         Tick when;
         std::uint64_t seq;
-        EventHandle handle;
+        std::uint32_t idx;
+        std::uint32_t gen;
 
         bool
-        operator>(const Entry &other) const
+        before(const HeapEntry &o) const
         {
-            return when != other.when ? when > other.when
-                                      : seq > other.seq;
+            return when != o.when ? when < o.when : seq < o.seq;
         }
     };
 
-    /** Pop dead (cancelled) entries off the heap top. */
-    void skipDead() const;
+    Record &record(std::uint32_t idx) { return slab_[idx]; }
+    const Record &record(std::uint32_t idx) const { return slab_[idx]; }
+
+    static EventHandle
+    makeHandle(std::uint32_t idx, std::uint32_t gen)
+    {
+        return (static_cast<EventHandle>(gen) << 32) |
+               (static_cast<EventHandle>(idx) + 1);
+    }
+
+    /** Panic unless @p when is not in the past. */
+    void checkFuture(Tick when) const;
+
+    /** Pop a free slot off the free list (growing the pool first if
+     *  needed) and mark it live. No heap entry exists yet. */
+    std::uint32_t claimSlot();
+
+    /** Publish a claimed slot: push its (when, seq) heap entry. */
+    void commitSlot(std::uint32_t idx, Tick when);
+
+    /** Return a claimed-but-unpublished slot to the free list. */
+    void abortClaim(std::uint32_t idx);
+
+    /** Release a slot: destroy payload, bump generation, link free. */
+    void freeSlot(std::uint32_t idx);
+
+    void growPool();
+    void pushHeap(Tick when, std::uint64_t seq, std::uint32_t idx,
+                  std::uint32_t gen);
+    void popHeap() const;
+    /** Drop stale heap entries. @return false when the heap is empty. */
+    bool skipDead() const;
+    /** Execute the heap top (which must be live). */
+    void runTop();
 
     Tick now_ = 0;
     std::uint64_t next_seq_ = 1;
-    mutable std::priority_queue<Entry, std::vector<Entry>,
-                                std::greater<Entry>> heap_;
-    std::unordered_map<EventHandle, Callback> callbacks_;
+    std::size_t live_ = 0;
+    std::uint32_t free_head_ = kNoFreeSlot;
+    /**
+     * Record pool. Indexed by handle, so it may reallocate on growth
+     * (records are movable); a chunk-sized reserve at a time keeps that
+     * rare and steady-state scheduling allocation-free.
+     */
+    std::vector<Record> slab_;
+    mutable std::vector<HeapEntry> heap_;
+    KernelStats stats_;
 };
+
+inline Event::~Event()
+{
+    if (queue_ && handle_ != kNoEvent)
+        queue_->deschedule(*this);
+}
 
 } // namespace leaky::sim
 

@@ -83,6 +83,20 @@ inform(const char *fmt, Args &&...args)
                 #cond, ::leaky::sim::detail::format(__VA_ARGS__));         \
     } while (0)
 
+/**
+ * Assertion for hot paths whose check is itself expensive (e.g.,
+ * re-deriving an earliest-issue tick). Controlled by the CMake option
+ * LEAKY_DCHECKS (default ON, which defines LEAKY_DCHECKS_ENABLED):
+ * keep it on for correctness runs and tests; configure perf builds
+ * with -DLEAKY_DCHECKS=OFF so simulations do not pay for redundant
+ * verification.
+ */
+#ifdef LEAKY_DCHECKS_ENABLED
+#define LEAKY_DCHECK(cond, ...) LEAKY_ASSERT(cond, __VA_ARGS__)
+#else
+#define LEAKY_DCHECK(cond, ...) ((void)0)
+#endif
+
 } // namespace leaky::sim
 
 #endif // LEAKY_SIM_LOGGING_HH

@@ -84,11 +84,13 @@ void
 System::enqueueWithRetry(ctrl::Request req)
 {
     auto &controller = *ctrls_[req.addr.channel];
-    if (controller.enqueue(req))
+    if (controller.enqueue(std::move(req)))
         return;
-    eq_.scheduleAfter(cfg_.retry_interval, [this, req = std::move(req)] {
-        enqueueWithRetry(req);
-    });
+    // enqueue() only consumes the request on success.
+    eq_.scheduleAfter(cfg_.retry_interval,
+                      [this, req = std::move(req)]() mutable {
+                          enqueueWithRetry(std::move(req));
+                      });
 }
 
 void
@@ -102,14 +104,15 @@ System::issueRead(std::uint64_t phys_addr, std::int32_t source,
     req.source = source;
     const Tick frontend = cfg_.frontend_latency;
     req.on_complete = [this, cb = std::move(cb),
-                       frontend](const ctrl::Request &, Tick done) {
+                       frontend](Tick done) mutable {
         // Data still has to travel back to the requestor.
         eq_.schedule(done + frontend > eq_.now() ? done + frontend
                                                  : eq_.now(),
-                     [cb, done, frontend] { cb(done + frontend); });
+                     [cb = std::move(cb), done,
+                      frontend] { cb(done + frontend); });
     };
-    eq_.scheduleAfter(frontend, [this, req = std::move(req)] {
-        enqueueWithRetry(req);
+    eq_.scheduleAfter(frontend, [this, req = std::move(req)]() mutable {
+        enqueueWithRetry(std::move(req));
     });
 }
 
@@ -122,8 +125,8 @@ System::issueWrite(std::uint64_t phys_addr, std::int32_t source)
     req.addr = mapper_.decode(phys_addr);
     req.source = source;
     eq_.scheduleAfter(cfg_.frontend_latency,
-                      [this, req = std::move(req)] {
-                          enqueueWithRetry(req);
+                      [this, req = std::move(req)]() mutable {
+                          enqueueWithRetry(std::move(req));
                       });
 }
 

@@ -51,7 +51,7 @@ class ControllerTest : public ::testing::Test
         Request req;
         req.type = Request::Type::kRead;
         req.addr = a;
-        req.on_complete = [&done](const Request &, Tick t) { done = t; };
+        req.on_complete = [&done](Tick t) { done = t; };
         EXPECT_TRUE(ctrl_.enqueue(req));
         const Tick deadline = eq_.now() + run_for;
         while (!done && eq_.now() < deadline)
@@ -101,7 +101,7 @@ TEST_F(ControllerTest, WritesCompleteOnAcceptance)
     Request req;
     req.type = Request::Type::kWrite;
     req.addr = addr(0, 0, 10);
-    req.on_complete = [&completed](const Request &, Tick) {
+    req.on_complete = [&completed](Tick) {
         completed = true;
     };
     ASSERT_TRUE(ctrl_.enqueue(req));
@@ -140,7 +140,7 @@ TEST_F(ControllerTest, BusyTrafficPostponesThenDoublesRefresh)
         Request req;
         req.type = Request::Type::kRead;
         req.addr = addr(0, 0, served % 2 ? 10 : 20);
-        req.on_complete = [&](const Request &, Tick) {
+        req.on_complete = [&](Tick) {
             served += 1;
             eq_.scheduleAfter(15'000, next);
         };
@@ -201,7 +201,7 @@ TEST_F(ControllerPracTest, HammeringTriggersBackoffProtocol)
         Request req;
         req.type = Request::Type::kRead;
         req.addr = addr(0, 0, served % 2 ? 100 : 200);
-        req.on_complete = [&](const Request &, Tick) {
+        req.on_complete = [&](Tick) {
             served += 1;
             if (served < 200)
                 eq_.scheduleAfter(15'000, next);
@@ -238,7 +238,7 @@ TEST_F(ControllerPracTest, BackoffBlocksRequestsDuringRecovery)
         Request req;
         req.type = Request::Type::kRead;
         req.addr = addr(0, 0, served % 2 ? 100 : 200);
-        req.on_complete = [&](const Request &, Tick) {
+        req.on_complete = [&](Tick) {
             served += 1;
             if (backoff_start == 0)
                 eq_.scheduleAfter(15'000, next);
@@ -275,7 +275,7 @@ TEST_F(ControllerTest, PrfmIssuesRfmEveryTrfmActivations)
         Request req;
         req.type = Request::Type::kRead;
         req.addr = addr(0, 0, served % 2 ? 100 : 200);
-        req.on_complete = [&](const Request &, Tick) {
+        req.on_complete = [&](Tick) {
             served += 1;
             if (served < 64)
                 eq_.scheduleAfter(15'000, next);

@@ -6,6 +6,7 @@
 
 namespace {
 
+using leaky::ctrl::BankFilter;
 using leaky::ctrl::FrFcfsScheduler;
 using leaky::ctrl::QueueEntry;
 using leaky::ctrl::Request;
@@ -36,11 +37,8 @@ class SchedulerTest : public ::testing::Test
         return e;
     }
 
-    static bool
-    noneBlocked(const Address &)
-    {
-        return false;
-    }
+    /** BankFilter that blocks nothing. */
+    static constexpr BankFilter noneBlocked{};
 
     DramConfig cfg_;
     DramChannel chan_;
@@ -139,9 +137,9 @@ TEST_F(SchedulerTest, ActivateResetsStreak)
 TEST_F(SchedulerTest, BlockedBanksAreSkipped)
 {
     std::deque<QueueEntry> q{entry(0, 0, 5, 0), entry(1, 1, 6, 1)};
-    const auto blocked = [](const Address &a) {
+    const BankFilter blocked{[](const void *, const Address &a) {
         return a.bankgroup == 0 && a.bank == 0;
-    };
+    }, nullptr};
     const auto d = sched_.pick(q, chan_, blocked, 0);
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->index, 1u);
@@ -150,7 +148,8 @@ TEST_F(SchedulerTest, BlockedBanksAreSkipped)
 TEST_F(SchedulerTest, AllBlockedYieldsNothing)
 {
     std::deque<QueueEntry> q{entry(0, 0, 5, 0)};
-    const auto blocked = [](const Address &) { return true; };
+    const BankFilter blocked{
+        [](const void *, const Address &) { return true; }, nullptr};
     EXPECT_FALSE(sched_.pick(q, chan_, blocked, 0).has_value());
 }
 
