@@ -12,6 +12,17 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Figure-reproduction smoke: run the headline capacity sweep on the
+# work-stealing pool, then rerun single-threaded — with fixed seeds the
+# two CSV artifacts must be bit-identical.
+"$BUILD_DIR/leakyhammer" repro --fig capacity --smoke --threads 4 \
+    --out "$BUILD_DIR/repro"
+"$BUILD_DIR/leakyhammer" repro --fig capacity --smoke --threads 1 \
+    --out "$BUILD_DIR/repro-serial"
+cmp "$BUILD_DIR/repro/fig_capacity_vs_noise.csv" \
+    "$BUILD_DIR/repro-serial/fig_capacity_vs_noise.csv"
+echo "figure CSV bit-identical across thread counts"
+
 # Perf smoke: the numbers are meaningless at this min_time; the point
 # is that every benchmark still runs to completion.
 if [ -x "$BUILD_DIR/bench/micro_simulator_throughput" ]; then

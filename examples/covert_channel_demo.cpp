@@ -1,56 +1,17 @@
 /**
  * @file
- * Covert-channel demo: transmit a user-supplied message over the
- * PRAC-based and the RFM-based LeakyHammer channels (paper §6.3 and
- * §7.3) and print the per-window detections, the decoded text, and the
- * channel metrics.
+ * Covert-channel demo: transmit a message over the PRAC-based and the
+ * RFM-based LeakyHammer channels (paper §6.3 and §7.3). Thin wrapper
+ * over `leakyhammer run covert` (src/runner/demos.cc).
  *
- * Usage: covert_channel_demo [message]
+ * Usage: covert_channel_demo [--message <text>]
  */
 
-#include <cstdio>
-#include <string>
-
-#include "core/leakyhammer.hh"
-
-namespace {
-
-void
-demo(leaky::attack::ChannelKind kind, const std::string &message)
-{
-    using namespace leaky;
-    const char *name =
-        kind == attack::ChannelKind::kPrac ? "PRAC" : "RFM (PRFM)";
-    core::banner(std::string(name) + " covert channel");
-
-    const auto result = core::runMessageDemo(kind, message);
-
-    std::printf("sent bits:     ");
-    for (bool b : result.sent_bits)
-        std::printf("%d", b ? 1 : 0);
-    std::printf("\nreceived bits: ");
-    for (bool b : result.received_bits)
-        std::printf("%d", b ? 1 : 0);
-    std::printf("\ndetections:    ");
-    for (auto d : result.detections)
-        std::printf("%u", d > 9 ? 9 : d);
-    std::printf("\ndecoded text:  \"%s\"\n",
-                result.decoded_text.c_str());
-
-    std::size_t errors = 0;
-    for (std::size_t i = 0; i < result.sent_bits.size(); ++i)
-        errors += result.sent_bits[i] != result.received_bits[i];
-    std::printf("bit errors:    %zu / %zu\n", errors,
-                result.sent_bits.size());
-}
-
-} // namespace
+#include "runner/demos.hh"
 
 int
 main(int argc, char **argv)
 {
-    const std::string message = argc > 1 ? argv[1] : "MICRO";
-    demo(leaky::attack::ChannelKind::kPrac, message);
-    demo(leaky::attack::ChannelKind::kRfm, message);
-    return 0;
+    return leaky::runner::covertMain(argc - 1, argv + 1,
+                                     "covert_channel_demo");
 }

@@ -1,74 +1,17 @@
 /**
  * @file
- * Countermeasure comparison demo (paper §11): for one RowHammer
- * threshold, run the PRAC covert channel against every defense and
- * measure both the channel capacity (security) and the weighted
- * speedup of a four-core mix (performance) -- the security/performance
- * trade-off that Fig. 13 and §11.4 quantify.
+ * Countermeasure comparison demo (paper §11): channel capacity and
+ * weighted speedup of every defense at one RowHammer threshold. Thin
+ * wrapper over `leakyhammer run mitigation` (src/runner/demos.cc).
  *
- * Usage: mitigation_comparison [nrh]
+ * Usage: mitigation_comparison [--nrh <n>]
  */
 
-#include <cstdio>
-#include <cstdlib>
-
-#include "core/leakyhammer.hh"
-
-namespace {
-
-using namespace leaky;
-
-double
-channelCapacityAgainst(defense::DefenseKind kind, std::uint32_t nrh)
-{
-    sys::SystemConfig cfg = core::pracAttackSystem();
-    cfg.defense.kind = kind;
-    if (kind == defense::DefenseKind::kFrRfm ||
-        kind == defense::DefenseKind::kPrfm) {
-        cfg.defense.nrh = nrh;
-        cfg.defense.nbo_override = 0;
-    }
-    sys::System system(cfg);
-    auto channel_cfg =
-        attack::makeChannelConfig(system, attack::ChannelKind::kPrac);
-
-    const auto bits = attack::patternBits(
-        attack::MessagePattern::kCheckered0, 160);
-    std::vector<std::uint8_t> symbols;
-    for (bool b : bits)
-        symbols.push_back(b ? 1 : 0);
-    return attack::runCovertChannel(system, channel_cfg, symbols)
-        .capacity;
-}
-
-} // namespace
+#include "runner/demos.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace leaky;
-    const std::uint32_t nrh =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
-    core::banner("Defense comparison at NRH = " + std::to_string(nrh));
-
-    const auto mixes = workload::makeMixes(3, 4, 7);
-    core::Table table({"defense", "channel capacity", "normalized WS"});
-    for (auto kind :
-         {defense::DefenseKind::kPrac, defense::DefenseKind::kPrfm,
-          defense::DefenseKind::kPracRiac, defense::DefenseKind::kFrRfm,
-          defense::DefenseKind::kPracBank}) {
-        const double capacity = channelCapacityAgainst(kind, nrh);
-        const double ws =
-            core::runPerfCell(kind, nrh, mixes, 4, 100'000);
-        table.addRow({defense::defenseName(kind),
-                      core::fmtKbps(capacity), core::fmt(ws, 3)});
-        std::printf("%-10s capacity %-12s normalized WS %.3f\n",
-                    defense::defenseName(kind),
-                    core::fmtKbps(capacity).c_str(), ws);
-    }
-    std::printf("\n%s", table.str().c_str());
-    std::printf("\nFR-RFM closes the channel completely; at low NRH its "
-                "performance cost explodes, which is the paper's central "
-                "trade-off (§11, Fig. 13).\n");
-    return 0;
+    return leaky::runner::mitigationMain(argc - 1, argv + 1,
+                                         "mitigation_comparison");
 }

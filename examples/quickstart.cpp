@@ -1,70 +1,19 @@
 /**
  * @file
- * Quickstart: build the paper's system with PRAC, run the Listing-1
- * latency-measurement routine against two rows of one bank, and watch
- * the three latency bands of Fig. 2 appear (row conflicts, periodic
- * refreshes, PRAC back-offs).
+ * Quickstart: the Listing-1 latency-measurement routine against PRAC,
+ * showing the three latency bands of Fig. 2. Thin wrapper over
+ * `leakyhammer run quickstart` (src/runner/demos.cc).
  *
  * Build and run:
- *   cmake -B build -G Ninja && cmake --build build
+ *   cmake -B build && cmake --build build
  *   ./build/examples/quickstart
  */
 
-#include <cstdio>
-
-#include "core/leakyhammer.hh"
+#include "runner/demos.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace leaky;
-
-    // 1. A DDR5 system (paper Table 1) protected by PRAC with the
-    //    attack-study operating point NBO = 128.
-    sys::SystemConfig cfg = core::pracAttackSystem();
-    sys::System system(cfg);
-
-    // 2. Two attacker-controlled rows in the same bank. Alternating
-    //    loads force a row-buffer conflict -- and thus an activation --
-    //    on every access, charging the PRAC counters.
-    attack::ProbeConfig probe_cfg;
-    probe_cfg.addrs = {
-        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 1000),
-        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 2000)};
-    probe_cfg.iterations = 512;
-
-    attack::LatencyProbe probe(system, probe_cfg);
-    bool done = false;
-    probe.start([&done] { done = true; });
-    while (!done)
-        system.run(sim::kMs);
-
-    // 3. Classify what the user-space loop observed.
-    const auto classifier = attack::LatencyClassifier::forTiming(
-        cfg.ctrl.dram.timing);
-    std::uint64_t by_class[5] = {0, 0, 0, 0, 0};
-    for (const auto &sample : probe.samples())
-        by_class[static_cast<int>(classifier.classify(sample.latency))]++;
-
-    std::printf("Observed %zu request latencies:\n",
-                probe.samples().size());
-    const char *names[5] = {"fast (row hit)", "row conflict",
-                            "RFM window", "periodic refresh",
-                            "PRAC back-off"};
-    for (int c = 0; c < 5; ++c)
-        std::printf("  %-18s %5llu\n", names[c],
-                    static_cast<unsigned long long>(by_class[c]));
-
-    const auto &stats = system.controller(0).stats();
-    std::printf("\nGround truth from the controller:\n");
-    std::printf("  back-offs: %llu, refreshes: %llu, reads: %llu\n",
-                static_cast<unsigned long long>(stats.backoffs),
-                static_cast<unsigned long long>(stats.refreshes),
-                static_cast<unsigned long long>(stats.reads_served));
-    std::printf("\nFirst samples (ns): ");
-    for (std::size_t i = 0; i < 12 && i < probe.samples().size(); ++i)
-        std::printf("%llu ", static_cast<unsigned long long>(
-                                 probe.samples()[i].latency / 1000));
-    std::printf("\n");
-    return 0;
+    return leaky::runner::quickstartMain(argc - 1, argv + 1,
+                                         "quickstart");
 }

@@ -1,63 +1,17 @@
 /**
  * @file
- * Website-fingerprinting side channel demo (paper §8): simulate a
- * browser loading a few websites under PRAC at NRH=64, collect the
- * attacker's back-off traces with the Listing-2 probe, train a
- * classifier, and identify an unseen load.
+ * Website-fingerprinting side channel demo (paper §8): collect back-off
+ * traces, train a classifier, identify unseen loads. Thin wrapper over
+ * `leakyhammer run fingerprint` (src/runner/demos.cc).
  *
- * Usage: website_fingerprinting [n_sites] [loads_per_site]
+ * Usage: website_fingerprinting [--sites <n>] [--loads <n>]
  */
 
-#include <cstdio>
-#include <cstdlib>
-
-#include "core/leakyhammer.hh"
+#include "runner/demos.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace leaky;
-    core::banner("Website fingerprinting via PRAC back-offs");
-
-    core::FingerprintSpec spec;
-    spec.sites = argc > 1 ? static_cast<std::uint32_t>(
-                                std::atoi(argv[1]))
-                          : 6;
-    spec.loads_per_site =
-        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8;
-    spec.duration = 2 * sim::kMs;
-
-    std::printf("collecting %u sites x %u loads (NRH = %u)...\n",
-                spec.sites, spec.loads_per_site, spec.nrh);
-    const auto raw = core::collectFingerprints(spec);
-
-    // Show one strip per site.
-    for (std::uint32_t site = 0; site < spec.sites; ++site) {
-        for (const auto &sample : raw) {
-            if (sample.site != site || sample.load != 0)
-                continue;
-            const auto features = attack::extractFeatures(
-                sample.backoff_times, sample.duration, 24);
-            std::vector<double> strip(features.values.begin(),
-                                      features.values.begin() + 24);
-            std::printf("%-12s [%s] %3zu back-offs\n",
-                        workload::websiteNames()[site].c_str(),
-                        core::sparkline(strip).c_str(),
-                        sample.backoff_times.size());
-        }
-    }
-
-    // Train on most loads, classify the held-out ones.
-    const auto data = core::fingerprintDataset(raw);
-    const auto split = ml::stratifiedSplit(data, 0.25, 99);
-    ml::RandomForest model;
-    model.fit(split.train);
-    const auto cm = ml::evaluate(model, split.test);
-
-    std::printf("\nrandom forest on held-out loads: accuracy %.2f "
-                "(chance %.3f)\n",
-                cm.accuracy(), 1.0 / data.n_classes);
-    std::printf("macro F1 %.2f, precision %.2f, recall %.2f\n",
-                cm.macroF1(), cm.macroPrecision(), cm.macroRecall());
-    return 0;
+    return leaky::runner::fingerprintMain(argc - 1, argv + 1,
+                                          "website_fingerprinting");
 }

@@ -1,0 +1,282 @@
+#include "runner/cli.hh"
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "runner/demos.hh"
+#include "runner/figures.hh"
+#include "runner/flags.hh"
+#include "runner/pool.hh"
+
+namespace leaky::runner {
+
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kRuntimeError = 1;
+constexpr int kUsageError = 2;
+
+void
+printTopUsage()
+{
+    std::printf(
+        "usage: leakyhammer <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  list                list reproducible figures and demos\n"
+        "  repro --fig <name>  reproduce a paper figure (CSV artifact)\n"
+        "  run <demo> [flags]  run one narrated scenario demo\n"
+        "  bench [flags]       measure sweep-runner throughput\n"
+        "  help                this text\n"
+        "\n"
+        "run `leakyhammer help <command>` for per-command flags.\n");
+}
+
+int
+usageError(const std::string &message, const char *command = nullptr)
+{
+    std::fprintf(stderr, "leakyhammer: %s\n", message.c_str());
+    if (command != nullptr)
+        std::fprintf(stderr,
+                     "run `leakyhammer help %s` for usage\n", command);
+    else
+        printTopUsage();
+    return kUsageError;
+}
+
+// --------------------------------------------------------------- list
+
+int
+cmdList(int argc, char **argv)
+{
+    FlagParser parser;
+    std::string error;
+    if (!parser.parse(argc, argv, &error))
+        return usageError(error, "list");
+
+    core::Table figs({"figure", "paper", "artifact", "title"});
+    for (const auto &figure : figures())
+        figs.addRow({figure.name, figure.paper_ref, figure.csv_name,
+                     figure.title});
+    std::printf("figures (leakyhammer repro --fig <name>):\n%s\n",
+                figs.str().c_str());
+
+    core::Table demos({"demo", "flags", "scenario"});
+    demos.addRow({"quickstart", "-",
+                  "Listing-1 latency probe, Fig. 2 bands"});
+    demos.addRow({"covert", "--message <s>",
+                  "transmit text over both covert channels"});
+    demos.addRow({"fingerprint", "--sites <n> --loads <n>",
+                  "website fingerprinting + classifier"});
+    demos.addRow({"mitigation", "--nrh <n>",
+                  "security/performance trade-off per defense"});
+    std::printf("demos (leakyhammer run <demo>):\n%s",
+                demos.str().c_str());
+    return kOk;
+}
+
+// -------------------------------------------------------------- repro
+
+void
+addReproFlags(FlagParser &parser, std::string *fig, unsigned *threads,
+              bool *smoke, bool *full, std::uint64_t *seed,
+              std::string *out_dir)
+{
+    parser.addString("fig", fig,
+                     "figure to reproduce, or 'all' (see `list`)");
+    parser.addUint("threads", threads,
+                   "pool workers (0 = hardware concurrency)");
+    parser.addBool("smoke", smoke, "CI scale: tiny but complete sweep");
+    parser.addBool("full", full, "paper scale (hours of simulation)");
+    parser.addUint64("seed", seed, "base seed (0 = figure default)");
+    parser.addString("out", out_dir, "output directory for CSVs");
+}
+
+int
+reproduceOne(const Figure &figure, const RunOptions &opts)
+{
+    std::printf("== %s: %s (%s) ==\n", figure.name.c_str(),
+                figure.title.c_str(), figure.paper_ref.c_str());
+    const auto outcome = reproduceFigure(figure, opts);
+    const double rate =
+        outcome.sweep.wall_seconds > 0.0
+            ? static_cast<double>(outcome.sweep.jobs) /
+                  outcome.sweep.wall_seconds
+            : 0.0;
+    std::printf("%zu jobs on %u threads in %.2f s (%.1f jobs/s)\n",
+                outcome.sweep.jobs,
+                SweepPool::resolveThreads(opts.threads),
+                outcome.sweep.wall_seconds, rate);
+    std::printf("wrote %s (%zu rows)\n\n%s\n",
+                outcome.csv_path.c_str(), outcome.sweep.rows.size(),
+                outcome.summary.c_str());
+    return kOk;
+}
+
+int
+cmdRepro(int argc, char **argv)
+{
+    std::string fig_name;
+    RunOptions opts;
+    FlagParser parser;
+    addReproFlags(parser, &fig_name, &opts.threads, &opts.smoke,
+                  &opts.full, &opts.seed, &opts.out_dir);
+    std::string error;
+    if (!parser.parse(argc, argv, &error))
+        return usageError(error, "repro");
+    if (fig_name.empty())
+        return usageError("repro needs --fig <name> (or --fig all)",
+                          "repro");
+
+    if (fig_name == "all") {
+        for (const auto &figure : figures())
+            reproduceOne(figure, opts);
+        return kOk;
+    }
+    const Figure *figure = findFigure(fig_name);
+    if (figure == nullptr)
+        return usageError("unknown figure '" + fig_name + "'", "repro");
+    return reproduceOne(*figure, opts);
+}
+
+// ---------------------------------------------------------------- run
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 1 || std::string(argv[0]).rfind("--", 0) == 0)
+        return usageError(
+            "run needs a demo name (quickstart, covert, fingerprint, "
+            "mitigation)",
+            "run");
+    // Flag parsing and validation are shared with the example
+    // binaries (runner/demos.cc), so defaults and bounds live once.
+    const std::string demo = argv[0];
+    const std::string prog = "leakyhammer run " + demo;
+    if (demo == "quickstart")
+        return quickstartMain(argc - 1, argv + 1, prog.c_str());
+    if (demo == "covert")
+        return covertMain(argc - 1, argv + 1, prog.c_str());
+    if (demo == "fingerprint")
+        return fingerprintMain(argc - 1, argv + 1, prog.c_str());
+    if (demo == "mitigation")
+        return mitigationMain(argc - 1, argv + 1, prog.c_str());
+    return usageError("unknown demo '" + demo + "'", "run");
+}
+
+// -------------------------------------------------------------- bench
+
+int
+cmdBench(int argc, char **argv)
+{
+    std::uint32_t jobs = 512;
+    std::uint32_t spin = 20'000;
+    FlagParser parser;
+    parser.addUint("jobs", &jobs, "synthetic jobs per batch");
+    parser.addUint("spin", &spin, "RNG draws of work per job");
+    std::string error;
+    if (!parser.parse(argc, argv, &error))
+        return usageError(error, "bench");
+    if (jobs == 0)
+        return usageError("--jobs must be positive", "bench");
+
+    const SweepSpec spec = syntheticBenchSpec(jobs, spin);
+
+    const unsigned hw = SweepPool::resolveThreads(0);
+    std::vector<unsigned> counts = {1};
+    if (hw >= 4)
+        counts.push_back(4);
+    if (hw != 1 && hw != 4)
+        counts.push_back(hw);
+
+    core::Table table({"threads", "jobs", "wall (s)", "jobs/s"});
+    for (unsigned threads : counts) {
+        const auto result = runSweep(spec, threads);
+        const double rate =
+            result.wall_seconds > 0.0
+                ? static_cast<double>(result.jobs) / result.wall_seconds
+                : 0.0;
+        table.addRow({std::to_string(threads), std::to_string(jobs),
+                      core::fmt(result.wall_seconds, 3),
+                      core::fmt(rate, 0)});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\n(BM_SweepRunner in bench/micro_simulator_throughput "
+                "tracks this number in BENCH_kernel.json.)\n");
+    return kOk;
+}
+
+// --------------------------------------------------------------- help
+
+int
+cmdHelp(int argc, char **argv)
+{
+    const std::string topic = argc > 0 ? argv[0] : "";
+    if (topic.empty()) {
+        printTopUsage();
+        return kOk;
+    }
+    FlagParser parser;
+    if (topic == "repro") {
+        std::string s1, s2;
+        unsigned u = 0;
+        bool b1 = false, b2 = false;
+        std::uint64_t seed = 0;
+        addReproFlags(parser, &s1, &u, &b1, &b2, &seed, &s2);
+        std::printf("usage: leakyhammer repro --fig <name> [flags]\n%s",
+                    parser.helpText().c_str());
+        return kOk;
+    }
+    if (topic == "run") {
+        std::printf(
+            "usage: leakyhammer run <demo> [flags]\n"
+            "  quickstart                 no flags\n"
+            "  covert [--message <s>]     default MICRO\n"
+            "  fingerprint [--sites <n>] [--loads <n>]\n"
+            "  mitigation [--nrh <n>]     default 256\n");
+        return kOk;
+    }
+    if (topic == "bench") {
+        std::printf("usage: leakyhammer bench [--jobs <n>] "
+                    "[--spin <n>]\n");
+        return kOk;
+    }
+    if (topic == "list") {
+        std::printf("usage: leakyhammer list\n");
+        return kOk;
+    }
+    return usageError("unknown help topic '" + topic + "'");
+}
+
+} // namespace
+
+int
+cliMain(int argc, char **argv)
+{
+    if (argc < 2) {
+        printTopUsage();
+        return kUsageError;
+    }
+    const std::string command = argv[1];
+    try {
+        if (command == "list")
+            return cmdList(argc - 2, argv + 2);
+        if (command == "repro")
+            return cmdRepro(argc - 2, argv + 2);
+        if (command == "run")
+            return cmdRun(argc - 2, argv + 2);
+        if (command == "bench")
+            return cmdBench(argc - 2, argv + 2);
+        if (command == "help" || command == "--help" || command == "-h")
+            return cmdHelp(argc - 2, argv + 2);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "leakyhammer: %s\n", e.what());
+        return kRuntimeError;
+    }
+    return usageError("unknown command '" + command + "'");
+}
+
+} // namespace leaky::runner

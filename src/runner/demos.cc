@@ -1,0 +1,279 @@
+#include "runner/demos.hh"
+
+#include <cstdio>
+#include <vector>
+
+#include "core/leakyhammer.hh"
+#include "runner/flags.hh"
+
+namespace leaky::runner {
+
+namespace {
+
+void
+covertOneChannel(attack::ChannelKind kind, const std::string &message)
+{
+    const char *name =
+        kind == attack::ChannelKind::kPrac ? "PRAC" : "RFM (PRFM)";
+    core::banner(std::string(name) + " covert channel");
+
+    const auto result = core::runMessageDemo(kind, message);
+
+    std::printf("sent bits:     ");
+    for (bool b : result.sent_bits)
+        std::printf("%d", b ? 1 : 0);
+    std::printf("\nreceived bits: ");
+    for (bool b : result.received_bits)
+        std::printf("%d", b ? 1 : 0);
+    std::printf("\ndetections:    ");
+    for (auto d : result.detections)
+        std::printf("%u", d > 9 ? 9 : d);
+    std::printf("\ndecoded text:  \"%s\"\n", result.decoded_text.c_str());
+
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < result.sent_bits.size(); ++i)
+        errors += result.sent_bits[i] != result.received_bits[i];
+    std::printf("bit errors:    %zu / %zu\n", errors,
+                result.sent_bits.size());
+}
+
+} // namespace
+
+int
+runQuickstartDemo()
+{
+    // 1. A DDR5 system (paper Table 1) protected by PRAC with the
+    //    attack-study operating point NBO = 128.
+    sys::SystemConfig cfg = core::pracAttackSystem();
+    sys::System system(cfg);
+
+    // 2. Two attacker-controlled rows in the same bank. Alternating
+    //    loads force a row-buffer conflict -- and thus an activation --
+    //    on every access, charging the PRAC counters.
+    attack::ProbeConfig probe_cfg;
+    probe_cfg.addrs = {
+        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 1000),
+        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 2000)};
+    probe_cfg.iterations = 512;
+
+    attack::LatencyProbe probe(system, probe_cfg);
+    bool done = false;
+    probe.start([&done] { done = true; });
+    while (!done)
+        system.run(sim::kMs);
+
+    // 3. Classify what the user-space loop observed.
+    const auto classifier =
+        attack::LatencyClassifier::forTiming(cfg.ctrl.dram.timing);
+    std::uint64_t by_class[5] = {0, 0, 0, 0, 0};
+    for (const auto &sample : probe.samples())
+        by_class[static_cast<int>(classifier.classify(sample.latency))]++;
+
+    std::printf("Observed %zu request latencies:\n",
+                probe.samples().size());
+    const char *names[5] = {"fast (row hit)", "row conflict",
+                            "RFM window", "periodic refresh",
+                            "PRAC back-off"};
+    for (int c = 0; c < 5; ++c)
+        std::printf("  %-18s %5llu\n", names[c],
+                    static_cast<unsigned long long>(by_class[c]));
+
+    const auto &stats = system.controller(0).stats();
+    std::printf("\nGround truth from the controller:\n");
+    std::printf("  back-offs: %llu, refreshes: %llu, reads: %llu\n",
+                static_cast<unsigned long long>(stats.backoffs),
+                static_cast<unsigned long long>(stats.refreshes),
+                static_cast<unsigned long long>(stats.reads_served));
+    std::printf("\nFirst samples (ns): ");
+    for (std::size_t i = 0; i < 12 && i < probe.samples().size(); ++i)
+        std::printf("%llu ", static_cast<unsigned long long>(
+                                 probe.samples()[i].latency / 1000));
+    std::printf("\n");
+    return 0;
+}
+
+int
+runCovertDemo(const std::string &message)
+{
+    covertOneChannel(attack::ChannelKind::kPrac, message);
+    covertOneChannel(attack::ChannelKind::kRfm, message);
+    return 0;
+}
+
+int
+runFingerprintDemo(std::uint32_t sites, std::uint32_t loads)
+{
+    core::banner("Website fingerprinting via PRAC back-offs");
+
+    core::FingerprintSpec spec;
+    spec.sites = sites;
+    spec.loads_per_site = loads;
+    spec.duration = 2 * sim::kMs;
+
+    std::printf("collecting %u sites x %u loads (NRH = %u)...\n",
+                spec.sites, spec.loads_per_site, spec.nrh);
+    const auto raw = core::collectFingerprints(spec);
+
+    // Show one strip per site.
+    for (std::uint32_t site = 0; site < spec.sites; ++site) {
+        for (const auto &sample : raw) {
+            if (sample.site != site || sample.load != 0)
+                continue;
+            const auto features = attack::extractFeatures(
+                sample.backoff_times, sample.duration, 24);
+            std::vector<double> strip(features.values.begin(),
+                                      features.values.begin() + 24);
+            std::printf("%-12s [%s] %3zu back-offs\n",
+                        workload::websiteNames()[site].c_str(),
+                        core::sparkline(strip).c_str(),
+                        sample.backoff_times.size());
+        }
+    }
+
+    // Train on most loads, classify the held-out ones.
+    const auto data = core::fingerprintDataset(raw);
+    const auto split = ml::stratifiedSplit(data, 0.25, 99);
+    ml::RandomForest model;
+    model.fit(split.train);
+    const auto cm = ml::evaluate(model, split.test);
+
+    std::printf("\nrandom forest on held-out loads: accuracy %.2f "
+                "(chance %.3f)\n",
+                cm.accuracy(), 1.0 / data.n_classes);
+    std::printf("macro F1 %.2f, precision %.2f, recall %.2f\n",
+                cm.macroF1(), cm.macroPrecision(), cm.macroRecall());
+    return 0;
+}
+
+namespace {
+
+double
+channelCapacityAgainst(defense::DefenseKind kind, std::uint32_t nrh)
+{
+    sys::SystemConfig cfg = core::pracAttackSystem();
+    cfg.defense.kind = kind;
+    if (kind == defense::DefenseKind::kFrRfm ||
+        kind == defense::DefenseKind::kPrfm) {
+        cfg.defense.nrh = nrh;
+        cfg.defense.nbo_override = 0;
+    }
+    sys::System system(cfg);
+    auto channel_cfg =
+        attack::makeChannelConfig(system, attack::ChannelKind::kPrac);
+
+    const auto bits =
+        attack::patternBits(attack::MessagePattern::kCheckered0, 160);
+    std::vector<std::uint8_t> symbols;
+    for (bool b : bits)
+        symbols.push_back(b ? 1 : 0);
+    return attack::runCovertChannel(system, channel_cfg, symbols)
+        .capacity;
+}
+
+} // namespace
+
+int
+runMitigationDemo(std::uint32_t nrh)
+{
+    core::banner("Defense comparison at NRH = " + std::to_string(nrh));
+
+    const auto mixes = workload::makeMixes(3, 4, 7);
+    core::Table table({"defense", "channel capacity", "normalized WS"});
+    for (auto kind :
+         {defense::DefenseKind::kPrac, defense::DefenseKind::kPrfm,
+          defense::DefenseKind::kPracRiac, defense::DefenseKind::kFrRfm,
+          defense::DefenseKind::kPracBank}) {
+        const double capacity = channelCapacityAgainst(kind, nrh);
+        const double ws = core::runPerfCell(kind, nrh, mixes, 4, 100'000);
+        table.addRow({defense::defenseName(kind),
+                      core::fmtKbps(capacity), core::fmt(ws, 3)});
+        std::printf("%-10s capacity %-12s normalized WS %.3f\n",
+                    defense::defenseName(kind),
+                    core::fmtKbps(capacity).c_str(), ws);
+    }
+    std::printf("\n%s", table.str().c_str());
+    std::printf("\nFR-RFM closes the channel completely; at low NRH its "
+                "performance cost explodes, which is the paper's central "
+                "trade-off (§11, Fig. 13).\n");
+    return 0;
+}
+
+// ------------------------------------------------- argv entry points
+
+namespace {
+
+int
+usageError(const char *prog, const std::string &error,
+           const char *flag_usage)
+{
+    std::fprintf(stderr, "%s: %s\nusage: %s %s\n", prog, error.c_str(),
+                 prog, flag_usage);
+    return 2;
+}
+
+} // namespace
+
+int
+quickstartMain(int argc, char **argv, const char *prog)
+{
+    FlagParser parser;
+    std::string error;
+    if (!parser.parse(argc, argv, &error))
+        return usageError(prog, error, "");
+    return runQuickstartDemo();
+}
+
+int
+covertMain(int argc, char **argv, const char *prog)
+{
+    std::string message = "MICRO";
+    FlagParser parser;
+    parser.addString("message", &message, "text to transmit");
+    std::string error;
+    if (!parser.parse(argc, argv, &error))
+        return usageError(prog, error, "[--message <text>]");
+    if (message.empty())
+        return usageError(prog, "--message must be non-empty",
+                          "[--message <text>]");
+    return runCovertDemo(message);
+}
+
+int
+fingerprintMain(int argc, char **argv, const char *prog)
+{
+    const char *usage = "[--sites <n>] [--loads <n>]";
+    std::uint32_t sites = 6, loads = 8;
+    FlagParser parser;
+    parser.addUint("sites", &sites, "number of websites");
+    parser.addUint("loads", &loads, "loads per site");
+    std::string error;
+    if (!parser.parse(argc, argv, &error))
+        return usageError(prog, error, usage);
+    const auto max_sites =
+        static_cast<std::uint32_t>(workload::websiteNames().size());
+    if (sites < 2 || sites > max_sites)
+        return usageError(prog,
+                          "--sites must be in [2, " +
+                              std::to_string(max_sites) + "]",
+                          usage);
+    if (loads < 2)
+        return usageError(prog, "--loads must be >= 2", usage);
+    return runFingerprintDemo(sites, loads);
+}
+
+int
+mitigationMain(int argc, char **argv, const char *prog)
+{
+    std::uint32_t nrh = 256;
+    FlagParser parser;
+    parser.addUint("nrh", &nrh, "RowHammer threshold");
+    std::string error;
+    if (!parser.parse(argc, argv, &error))
+        return usageError(prog, error, "[--nrh <n>]");
+    if (nrh < 16 || nrh > 65536)
+        return usageError(prog, "--nrh must be in [16, 65536]",
+                          "[--nrh <n>]");
+    return runMitigationDemo(nrh);
+}
+
+} // namespace leaky::runner

@@ -1,0 +1,135 @@
+#include "runner/pool.hh"
+
+#include <algorithm>
+
+namespace leaky::runner {
+
+unsigned
+SweepPool::resolveThreads(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+SweepPool::SweepPool(unsigned threads)
+    : n_workers_(resolveThreads(threads))
+{
+    queues_.reserve(n_workers_);
+    for (unsigned i = 0; i < n_workers_; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    threads_.reserve(n_workers_ - 1);
+    for (unsigned id = 1; id < n_workers_; ++id)
+        threads_.emplace_back([this, id] { workerLoop(id); });
+}
+
+SweepPool::~SweepPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(run_mutex_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+SweepPool::forEach(std::size_t n,
+                   const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(run_mutex_);
+        first_error_ = nullptr;
+        fn_ = &fn;
+        remaining_ = n;
+        ++epoch_;
+        // Deal round-robin; stealing rebalances uneven job costs.
+        for (std::size_t job = 0; job < n; ++job)
+            queues_[job % n_workers_]->jobs.push_back(job);
+    }
+    start_cv_.notify_all();
+
+    drain(0); // The caller is worker 0.
+
+    std::unique_lock<std::mutex> lock(run_mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0 && active_ == 0; });
+    fn_ = nullptr;
+    if (first_error_) {
+        const auto error = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+SweepPool::workerLoop(unsigned id)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(run_mutex_);
+            start_cv_.wait(lock,
+                           [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+        }
+        drain(id);
+    }
+}
+
+void
+SweepPool::drain(unsigned id)
+{
+    {
+        std::lock_guard<std::mutex> lock(run_mutex_);
+        ++active_;
+    }
+    std::size_t job;
+    while (take(id, job)) {
+        try {
+            (*fn_)(job);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(run_mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(run_mutex_);
+        if (--remaining_ == 0)
+            done_cv_.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    if (--active_ == 0 && remaining_ == 0)
+        done_cv_.notify_all();
+}
+
+bool
+SweepPool::take(unsigned id, std::size_t &job)
+{
+    // Own queue: LIFO back, keeping freshly dealt work local.
+    {
+        Queue &own = *queues_[id];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.jobs.empty()) {
+            job = own.jobs.back();
+            own.jobs.pop_back();
+            return true;
+        }
+    }
+    // Steal: FIFO front of the next non-empty sibling.
+    for (unsigned step = 1; step < n_workers_; ++step) {
+        Queue &victim = *queues_[(id + step) % n_workers_];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.jobs.empty()) {
+            job = victim.jobs.front();
+            victim.jobs.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace leaky::runner

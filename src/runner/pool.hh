@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Work-stealing thread pool for sweep jobs. Workers are persistent;
+ * each owns a deque of job indices. A worker pops from the back of its
+ * own deque and, when empty, steals from the front of a sibling's —
+ * long jobs dealt to one worker migrate to idle ones, which matters
+ * because sweep cells differ wildly in cost (a 64-NRH fingerprint job
+ * simulates far more preventive actions than a 1024-NRH perf cell).
+ *
+ * The calling thread participates as worker 0, so a pool constructed
+ * with threads == 1 spawns nothing and runs jobs inline — the
+ * degenerate case the determinism tests compare against.
+ */
+
+#ifndef LEAKY_RUNNER_POOL_HH
+#define LEAKY_RUNNER_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace leaky::runner {
+
+/** Persistent work-stealing pool; forEach() runs one batch. */
+class SweepPool
+{
+  public:
+    /** @param threads Total workers including the caller (0 = one per
+     *  hardware thread). */
+    explicit SweepPool(unsigned threads = 0);
+    ~SweepPool();
+
+    SweepPool(const SweepPool &) = delete;
+    SweepPool &operator=(const SweepPool &) = delete;
+
+    unsigned threads() const { return n_workers_; }
+
+    /**
+     * Execute fn(0) ... fn(n - 1) across the pool; blocks until every
+     * call returned. Jobs are dealt round-robin and migrate by
+     * stealing, so completion order is arbitrary — fn must only touch
+     * disjoint state per index. If any call throws, the first
+     * exception is rethrown here after the batch drains.
+     */
+    void forEach(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+    /** Resolve a thread-count request (0 -> hardware concurrency). */
+    static unsigned resolveThreads(unsigned requested);
+
+  private:
+    struct Queue {
+        std::mutex mutex;
+        std::deque<std::size_t> jobs;
+    };
+
+    void workerLoop(unsigned id);
+    void drain(unsigned id);
+    bool take(unsigned id, std::size_t &job);
+
+    unsigned n_workers_ = 1;
+    std::vector<std::unique_ptr<Queue>> queues_; ///< One per worker.
+    std::vector<std::thread> threads_;           ///< n_workers_ - 1.
+
+    std::mutex run_mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t remaining_ = 0; ///< Jobs not yet finished (run_mutex_).
+    unsigned active_ = 0;       ///< Workers inside drain() (run_mutex_).
+    std::uint64_t epoch_ = 0;   ///< Bumped per forEach batch.
+    bool stop_ = false;
+    std::exception_ptr first_error_; ///< run_mutex_.
+};
+
+} // namespace leaky::runner
+
+#endif // LEAKY_RUNNER_POOL_HH

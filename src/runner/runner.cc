@@ -1,0 +1,97 @@
+#include "runner/runner.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "runner/pool.hh"
+#include "sim/logging.hh"
+
+namespace leaky::runner {
+
+SweepResult
+runSweep(const SweepSpec &spec, unsigned threads)
+{
+    SweepPool pool(threads);
+    return runSweep(spec, pool);
+}
+
+SweepResult
+runSweep(const SweepSpec &spec, SweepPool &pool)
+{
+    const auto jobs = expandJobs(spec);
+    const auto start = std::chrono::steady_clock::now();
+
+    // One slot per job: workers write disjoint slots, no locking, and
+    // the merge below is independent of completion order.
+    std::vector<JobRows> per_job(jobs.size());
+    pool.forEach(jobs.size(), [&](std::size_t i) {
+        per_job[i] = spec.job(jobs[i]);
+        for (const auto &row : per_job[i])
+            LEAKY_ASSERT(row.size() == spec.columns.size(),
+                         "job row arity != sweep columns");
+    });
+
+    SweepResult result;
+    result.columns = spec.columns;
+    result.jobs = jobs.size();
+    for (auto &rows : per_job)
+        for (auto &row : rows)
+            result.rows.push_back(std::move(row));
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+}
+
+std::string
+csvCell(double value)
+{
+    // Shortest decimal form that round-trips exactly: equal doubles
+    // always render to equal bytes, so reruns diff cleanly.
+    char buf[40];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value)
+            break;
+    }
+    return buf;
+}
+
+std::string
+toCsv(const SweepResult &result)
+{
+    std::string out;
+    for (std::size_t c = 0; c < result.columns.size(); ++c) {
+        if (c)
+            out += ',';
+        out += result.columns[c];
+    }
+    out += '\n';
+    for (const auto &row : result.rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out += ',';
+            out += csvCell(row[c]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file)
+        throw std::runtime_error("cannot open " + path + " for writing");
+    file << content;
+    file.flush();
+    if (!file)
+        throw std::runtime_error("write to " + path + " failed");
+}
+
+} // namespace leaky::runner

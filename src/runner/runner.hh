@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sweep execution and collection: expand a SweepSpec, run every job on
+ * a work-stealing pool (one isolated sys::System per job), and merge
+ * the per-job rows in job-index order so the result — and the CSV
+ * rendered from it — is bit-identical for any thread count.
+ */
+
+#ifndef LEAKY_RUNNER_RUNNER_HH
+#define LEAKY_RUNNER_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hh"
+
+namespace leaky::runner {
+
+class SweepPool;
+
+/** Merged outcome of one sweep. */
+struct SweepResult {
+    std::vector<std::string> columns;
+    /** All job rows, concatenated in job-index order. */
+    std::vector<std::vector<double>> rows;
+    std::size_t jobs = 0;
+    double wall_seconds = 0.0; ///< Wall clock, diagnostics only.
+};
+
+/** Expand and run @p spec on a fresh pool of @p threads workers
+ *  (0 = hardware concurrency). Throws if any job throws. */
+SweepResult runSweep(const SweepSpec &spec, unsigned threads = 0);
+
+/** Same, on an existing pool (benchmarks reuse one across batches). */
+SweepResult runSweep(const SweepSpec &spec, SweepPool &pool);
+
+/** Render columns + rows as CSV. Numeric formatting is locale-free and
+ *  round-trip exact, so equal results give byte-equal files. */
+std::string toCsv(const SweepResult &result);
+
+/** Format one cell the way toCsv does (shortest round-trip form). */
+std::string csvCell(double value);
+
+/** Write @p content to @p path (truncating); throws on I/O failure. */
+void writeFile(const std::string &path, const std::string &content);
+
+} // namespace leaky::runner
+
+#endif // LEAKY_RUNNER_RUNNER_HH

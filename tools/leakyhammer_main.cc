@@ -1,0 +1,9 @@
+/** @file `leakyhammer` binary: all dispatch lives in runner/cli.cc. */
+
+#include "runner/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return leaky::runner::cliMain(argc, argv);
+}
