@@ -1,33 +1,76 @@
 #!/usr/bin/env bash
-# Local mirror of the GitHub Actions CI: configure, build, test, and
-# smoke-run the perf harness so benchmark code executes on every PR.
+# Local mirror of the GitHub Actions CI. One invocation runs one build
+# variant; the workflow fans the same script out across its matrix, so
+# workflow and local runs cannot diverge.
+#
+#   BUILD_VARIANT=default   -O2 -g, LEAKY_DCHECK on (the dev build)
+#   BUILD_VARIANT=asan      ASan + UBSan, checks on, halt on any report
+#   BUILD_VARIANT=release   Release -DLEAKY_DCHECKS=OFF + the
+#                           bench-regression guard (tools/check_bench.py)
+#
+# Other knobs: BUILD_DIR, JOBS, EXPECTED_FIGURES (see smoke_figures.sh),
+# LEAKY_BENCH_TOLERANCE (see check_bench.py). ccache is picked up
+# automatically when installed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-ci}"
+BUILD_VARIANT="${BUILD_VARIANT:-default}"
+BUILD_DIR="${BUILD_DIR:-build-ci-$BUILD_VARIANT}"
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B "$BUILD_DIR" -S .
+CMAKE_ARGS=()
+case "$BUILD_VARIANT" in
+  default)
+    ;;
+  asan)
+    CMAKE_ARGS+=(
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+        "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all"
+        "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=address,undefined")
+    ;;
+  release)
+    CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Release -DLEAKY_DCHECKS=OFF)
+    ;;
+  *)
+    echo "run_ci.sh: unknown BUILD_VARIANT '$BUILD_VARIANT'" \
+         "(default | asan | release)" >&2
+    exit 2
+    ;;
+esac
+if command -v ccache > /dev/null; then
+    CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+# The ${arr[@]+...} guard keeps an empty array safe under `set -u` on
+# bash < 4.4 (macOS ships 3.2).
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-# Figure-reproduction smoke: run the headline capacity sweep on the
-# work-stealing pool, then rerun single-threaded — with fixed seeds the
-# two CSV artifacts must be bit-identical.
-"$BUILD_DIR/leakyhammer" repro --fig capacity --smoke --threads 4 \
-    --out "$BUILD_DIR/repro"
-"$BUILD_DIR/leakyhammer" repro --fig capacity --smoke --threads 1 \
-    --out "$BUILD_DIR/repro-serial"
-cmp "$BUILD_DIR/repro/fig_capacity_vs_noise.csv" \
-    "$BUILD_DIR/repro-serial/fig_capacity_vs_noise.csv"
-echo "figure CSV bit-identical across thread counts"
+# Figure-registry smoke: every registered figure reproduces at --smoke
+# and its CSV is bit-identical on 4 threads vs 1 thread.
+ci/smoke_figures.sh "$BUILD_DIR/leakyhammer" "$BUILD_DIR/repro"
 
-# Perf smoke: the numbers are meaningless at this min_time; the point
-# is that every benchmark still runs to completion.
+# Perf harness: run every benchmark to completion and guard against
+# regressions on the variant whose numbers are comparable to the
+# tracked baseline (Release, hot-path checks off). The other variants
+# smoke the harness at a tiny min_time so benchmark code is always
+# exercised; the guarded run measures longer to damp run-to-run noise.
+# Cross-machine variance remains — on hardware unlike the baseline's,
+# widen LEAKY_BENCH_TOLERANCE rather than trusting a red/green flip.
 if [ -x "$BUILD_DIR/bench/micro_simulator_throughput" ]; then
-    (cd "$BUILD_DIR" && ./bench/micro_simulator_throughput \
-        --benchmark_min_time=0.01)
+    if [ "$BUILD_VARIANT" = release ]; then
+        (cd "$BUILD_DIR" && ./bench/micro_simulator_throughput \
+            --benchmark_min_time=0.1 \
+            --benchmark_out=BENCH_current.json \
+            --benchmark_out_format=json)
+        python3 tools/check_bench.py --baseline BENCH_kernel.json \
+            --current "$BUILD_DIR/BENCH_current.json"
+    else
+        (cd "$BUILD_DIR" && ./bench/micro_simulator_throughput \
+            --benchmark_min_time=0.01)
+    fi
 else
     echo "google-benchmark not found; kernel bench harness skipped"
 fi

@@ -1,7 +1,6 @@
 #include "core/experiments.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <memory>
 
 #include "attack/counter_leak.hh"
@@ -15,13 +14,6 @@ namespace leaky::core {
 
 using attack::ChannelKind;
 using defense::DefenseKind;
-
-bool
-fullScale()
-{
-    const char *env = std::getenv("LEAKY_BENCH_FULL");
-    return env != nullptr && env[0] == '1';
-}
 
 sys::SystemConfig
 pracAttackSystem()
@@ -336,6 +328,144 @@ fingerprintDataset(const std::vector<FingerprintSample> &raw,
                  static_cast<int>(sample.site));
     }
     return data;
+}
+
+// ----------------------------------------------- §9.1, §11.4, §12, T3
+
+CounterLeakTrial
+runCounterLeakTrial(std::uint32_t secret)
+{
+    sys::SystemConfig cfg = pracAttackSystem();
+    sys::System system(cfg);
+
+    const auto shared =
+        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 1000);
+    const auto victim_conflict =
+        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 2000);
+    const auto attacker_conflict =
+        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 3000);
+
+    attack::CounterLeakConfig leak_cfg;
+    leak_cfg.shared_addr = shared;
+    leak_cfg.conflict_addr = attacker_conflict;
+    leak_cfg.nbo = 128;
+    leak_cfg.classifier =
+        attack::LatencyClassifier::forTiming(cfg.ctrl.dram.timing);
+
+    attack::CounterLeakVictim victim(system, shared, victim_conflict);
+    attack::CounterLeakAttacker attacker(system, leak_cfg);
+
+    attack::CounterLeakResult result;
+    bool done = false;
+    victim.prime(secret, [&] {
+        attacker.leak([&](const attack::CounterLeakResult &r) {
+            result = r;
+            done = true;
+        });
+    });
+    while (!done)
+        system.run(sim::kMs);
+
+    CounterLeakTrial trial;
+    trial.secret = secret;
+    trial.leaked = result.leaked_count;
+    trial.elapsed_us = static_cast<double>(result.elapsed) / 1e6;
+    trial.bits = result.bits;
+    return trial;
+}
+
+attack::ChannelResult
+runCountermeasureCell(const CountermeasureCellSpec &spec)
+{
+    sys::SystemConfig sys_cfg = pracAttackSystem();
+    sys_cfg.defense.kind = spec.kind;
+    sys_cfg.defense.seed = spec.seed;
+    if (spec.kind == DefenseKind::kFrRfm) {
+        sys_cfg.defense.nrh = 160;
+        sys_cfg.defense.nbo_override = 0;
+    }
+    sys::System system(sys_cfg);
+
+    attack::CovertConfig cfg =
+        attack::makeChannelConfig(system, ChannelKind::kPrac);
+    if (spec.cross_bank) {
+        // Receiver in a different bank group/bank than the sender; the
+        // sender self-conflicts between two of its own rows and needs
+        // a longer window to charge the counters alone.
+        cfg.sender_addr2 =
+            attack::rowAddress(system.mapper(), 0, 0, 0, 0, 1064);
+        cfg.receiver_addr =
+            attack::rowAddress(system.mapper(), 0, 0, 4, 2, 2000);
+        cfg.window = 50 * sim::kUs;
+    }
+
+    std::unique_ptr<attack::NoiseAgent> noise;
+    if (spec.noise_sleep > 0) {
+        attack::NoiseConfig noise_cfg;
+        noise_cfg.addrs = attack::rowsInBank(system.mapper(), 0, 0, 0,
+                                             0, 3000, 6, 512);
+        noise_cfg.sleep = spec.noise_sleep;
+        noise = std::make_unique<attack::NoiseAgent>(system, noise_cfg);
+        noise->start();
+    }
+
+    const auto bits = attack::patternBits(
+        attack::MessagePattern::kCheckered0, spec.message_bytes * 8);
+    return attack::runCovertChannel(
+        system, cfg, attack::symbolsFromBits(bits, 2));
+}
+
+attack::ChannelResult
+runTriggerCell(DefenseKind kind, double para_probability,
+               std::size_t message_bytes, std::uint64_t seed)
+{
+    sys::SystemConfig sys_cfg = pracAttackSystem();
+    sys_cfg.defense.kind = kind;
+    sys_cfg.defense.para_probability = para_probability;
+    sys_cfg.defense.seed = seed;
+    sys::System system(sys_cfg);
+
+    // Receiver strategy per defense: PRAC's big back-offs use the
+    // back-off detector; PRFM/PARA preventive actions are smaller, so
+    // the receiver counts slow events per window against Trecv.
+    attack::CovertConfig cfg = attack::makeChannelConfig(
+        system, kind == DefenseKind::kPrac ? ChannelKind::kPrac
+                                           : ChannelKind::kRfm);
+    cfg.window = 25 * sim::kUs;
+    cfg.trecv = 3;
+
+    const auto bits = attack::patternBits(
+        attack::MessagePattern::kCheckered0, message_bytes * 8);
+    return attack::runCovertChannel(
+        system, cfg, attack::symbolsFromBits(bits, 2));
+}
+
+attack::ChannelResult
+runGranularityCell(ChannelKind kind, int bankgroup, int bank,
+                   std::size_t message_bytes, std::uint64_t seed)
+{
+    sys::SystemConfig sys_cfg = kind == ChannelKind::kPrac
+                                    ? pracAttackSystem()
+                                    : prfmAttackSystem();
+    sys_cfg.defense.seed = seed;
+    sys::System system(sys_cfg);
+    attack::CovertConfig cfg = attack::makeChannelConfig(system, kind);
+    if (bankgroup >= 0) {
+        // Non-colocated receiver: the sender must self-conflict, and
+        // charging the counters alone takes ~2x as long per bit.
+        cfg.sender_addr2 =
+            attack::rowAddress(system.mapper(), 0, 0, 0, 0, 1064);
+        cfg.receiver_addr = attack::rowAddress(
+            system.mapper(), 0, 0,
+            static_cast<std::uint32_t>(bankgroup),
+            static_cast<std::uint32_t>(bank), 2000);
+        if (kind == ChannelKind::kPrac)
+            cfg.window = 50 * sim::kUs;
+    }
+    const auto bits = attack::patternBits(
+        attack::MessagePattern::kCheckered1, message_bytes * 8);
+    return attack::runCovertChannel(
+        system, cfg, attack::symbolsFromBits(bits, 2));
 }
 
 // ------------------------------------------------------------- Fig. 13

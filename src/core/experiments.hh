@@ -6,8 +6,8 @@
  * necessary agents/cores, runs the event queue, and returns the numbers
  * the corresponding figure/table plots.
  *
- * Scale knobs: every runner takes explicit sizes; benches default to a
- * fast configuration and honour LEAKY_BENCH_FULL=1 for paper-scale runs
+ * Scale knobs: every runner takes explicit sizes; the figure registry
+ * (src/runner/figures*.cc) picks them per smoke / default / full scale
  * (see EXPERIMENTS.md).
  */
 
@@ -29,9 +29,6 @@
 namespace leaky::core {
 
 using sim::Tick;
-
-/** True when LEAKY_BENCH_FULL=1 (paper-scale benchmark runs). */
-bool fullScale();
 
 /** Paper Table 1 system with PRAC at the attack-study operating point
  *  (NBO = 128, 4 RFMs per back-off). */
@@ -146,6 +143,48 @@ FingerprintSample collectOneFingerprint(const FingerprintSpec &spec,
 /** Turn fingerprints into the ML dataset (extractFeatures per sample). */
 ml::Dataset fingerprintDataset(const std::vector<FingerprintSample> &raw,
                                std::uint32_t windows = 32);
+
+// ----------------------------------------------- §9.1, §11.4, §12, T3
+
+/** One §9.1 counter-leak trial (Table 3's row-granular column). */
+struct CounterLeakTrial {
+    std::uint32_t secret = 0; ///< Victim's priming activation count.
+    std::uint32_t leaked = 0; ///< NBO - attacker activations.
+    double elapsed_us = 0.0;
+    double bits = 0.0; ///< log2(NBO) leaked per shot.
+};
+
+/** Prime the shared row's counter with @p secret and leak it back. */
+CounterLeakTrial runCounterLeakTrial(std::uint32_t secret);
+
+/** One §11.4 countermeasure scenario: the PRAC channel attacked
+ *  against a protected system under ambient noise. */
+struct CountermeasureCellSpec {
+    defense::DefenseKind kind = defense::DefenseKind::kPrac;
+    /** Receiver outside the sender's bank (Bank-Level PRAC's scope
+     *  reduction); the sender self-conflicts between two rows. */
+    bool cross_bank = false;
+    Tick noise_sleep = 0; ///< Ambient Eq.-2 noise (0 = none).
+    std::size_t message_bytes = 25;
+    std::uint64_t seed = 1;
+};
+
+attack::ChannelResult
+runCountermeasureCell(const CountermeasureCellSpec &spec);
+
+/** §12 trigger-algorithm cell: exact triggers (PRAC, PRFM) vs the
+ *  stateless random PARA at probability @p para_probability. */
+attack::ChannelResult runTriggerCell(defense::DefenseKind kind,
+                                     double para_probability,
+                                     std::size_t message_bytes,
+                                     std::uint64_t seed);
+
+/** Table 3 colocation cell: channel error with the receiver moved to
+ *  (@p bankgroup, @p bank); (-1, -1) keeps the same-bank default. */
+attack::ChannelResult runGranularityCell(attack::ChannelKind kind,
+                                         int bankgroup, int bank,
+                                         std::size_t message_bytes,
+                                         std::uint64_t seed);
 
 // ------------------------------------------------------------- Fig. 13
 

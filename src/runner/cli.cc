@@ -52,10 +52,19 @@ usageError(const std::string &message, const char *command = nullptr)
 int
 cmdList(int argc, char **argv)
 {
+    bool names_only = false;
     FlagParser parser;
+    parser.addBool("names", &names_only,
+                   "print just the figure names, one per line");
     std::string error;
     if (!parser.parse(argc, argv, &error))
         return usageError(error, "list");
+
+    if (names_only) {
+        for (const auto &figure : figures())
+            std::printf("%s\n", figure.name.c_str());
+        return kOk;
+    }
 
     core::Table figs({"figure", "paper", "artifact", "title"});
     for (const auto &figure : figures())
@@ -245,7 +254,9 @@ cmdHelp(int argc, char **argv)
         return kOk;
     }
     if (topic == "list") {
-        std::printf("usage: leakyhammer list\n");
+        std::printf("usage: leakyhammer list [--names]\n"
+                    "  --names   print just the figure names, one per "
+                    "line (for scripts)\n");
         return kOk;
     }
     return usageError("unknown help topic '" + topic + "'");

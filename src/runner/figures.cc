@@ -1,26 +1,11 @@
 #include "runner/figures.hh"
 
 #include <filesystem>
-#include <map>
-#include <utility>
+#include <iterator>
 
-#include "attack/fingerprint.hh"
-#include "core/experiments.hh"
-#include "core/report.hh"
-#include "ml/dataset.hh"
-#include "ml/ensemble.hh"
-#include "ml/metrics.hh"
-#include "stats/channel_metrics.hh"
-#include "workload/synthetic.hh"
+#include "runner/figures_internal.hh"
 
 namespace leaky::runner {
-
-namespace {
-
-using attack::ChannelKind;
-using defense::DefenseKind;
-
-enum class Scale { kSmoke, kDefault, kFull };
 
 Scale
 scaleOf(const RunOptions &opts)
@@ -45,7 +30,6 @@ iota(std::uint32_t count)
     return values;
 }
 
-/** Mean of column @p value grouped by the tuple of @p keys columns. */
 std::map<std::vector<double>, double>
 groupMean(const SweepResult &result, const std::vector<std::size_t> &keys,
           std::size_t value)
@@ -65,403 +49,20 @@ groupMean(const SweepResult &result, const std::vector<std::size_t> &keys,
     return means;
 }
 
-// ------------------------------------------------------------ Fig. 2
-
-Figure
-latencyFigure()
-{
-    Figure fig;
-    fig.name = "latency";
-    fig.title = "Latency bands of consecutive attacker requests (PRAC)";
-    fig.paper_ref = "Fig. 2";
-    fig.csv_name = "fig_latency_bands.csv";
-    fig.make = [](const RunOptions &opts) {
-        const Scale scale = scaleOf(opts);
-        SweepSpec spec;
-        spec.name = "latency";
-        spec.description = "Listing-1 probe latency classes per "
-                           "rfms-per-backoff setting";
-        spec.base_seed = seedOr(opts, 1);
-        spec.axes = {{"rfms_per_backoff",
-                      scale == Scale::kSmoke
-                          ? std::vector<double>{4}
-                          : std::vector<double>{1, 2, 4, 8}}};
-        // Two alternating rows split the activations, so the probe
-        // needs > 2 x NBO iterations before the first back-off shows.
-        const std::uint32_t iterations =
-            scale == Scale::kSmoke ? 300 : 512;
-        spec.columns = {"rfms_per_backoff",  "iterations",
-                        "mean_conflict_ns",  "mean_refresh_ns",
-                        "mean_backoff_ns",   "backoffs",
-                        "refreshes"};
-        spec.job = [iterations](const Job &job) -> JobRows {
-            const auto rfms = static_cast<std::uint32_t>(
-                job.param("rfms_per_backoff"));
-            const auto trace = core::runLatencyTrace(iterations, rfms);
-            return {{static_cast<double>(rfms),
-                     static_cast<double>(iterations),
-                     trace.mean_conflict_latency_ns,
-                     trace.mean_refresh_latency_ns,
-                     trace.mean_backoff_latency_ns,
-                     static_cast<double>(trace.backoffs),
-                     static_cast<double>(trace.refreshes)}};
-        };
-        return spec;
-    };
-    fig.summarize = [](const SweepResult &result) {
-        core::Table table({"RFMs/back-off", "conflict (ns)",
-                           "refresh (ns)", "back-off (ns)"});
-        for (const auto &row : result.rows)
-            table.addRow({core::fmt(row[0], 0), core::fmt(row[2], 0),
-                          core::fmt(row[3], 0), core::fmt(row[4], 0)});
-        return table.str() +
-               "\nThe three separable bands are what makes preventive "
-               "actions user-space observable (paper Fig. 2).\n";
-    };
-    return fig;
-}
-
-// ----------------------------------------------------- Figs. 4 and 7
-
-Figure
-capacityFigure()
-{
-    Figure fig;
-    fig.name = "capacity";
-    fig.title = "Covert-channel capacity vs noise intensity "
-                "(PRAC and RFM channels)";
-    fig.paper_ref = "Figs. 4 & 7";
-    fig.csv_name = "fig_capacity_vs_noise.csv";
-    fig.make = [](const RunOptions &opts) {
-        const Scale scale = scaleOf(opts);
-        SweepSpec spec;
-        spec.name = "capacity";
-        spec.description = "Eq.-2 noise sweep of both channels over "
-                           "the four message patterns";
-        spec.base_seed = seedOr(opts, 1);
-        std::vector<double> intensities;
-        switch (scale) {
-          case Scale::kSmoke:
-            intensities = {1, 50, 100};
-            break;
-          case Scale::kDefault:
-            intensities = {1, 25, 50, 75, 88, 100};
-            break;
-          case Scale::kFull:
-            intensities = {1,  10, 20, 30, 40, 50,
-                           60, 70, 80, 88, 95, 100};
-            break;
-        }
-        spec.axes = {{"channel", {0, 1}},
-                     {"intensity", std::move(intensities)},
-                     {"pattern", {0, 1, 2, 3}}};
-        const std::size_t bytes = scale == Scale::kFull ? 100
-                                  : scale == Scale::kDefault ? 20
-                                                             : 4;
-        spec.columns = {"channel",  "intensity",
-                        "pattern",  "raw_bit_rate",
-                        "error_probability", "capacity",
-                        "backoffs", "rfms"};
-        spec.job = [bytes](const Job &job) -> JobRows {
-            core::ChannelRunSpec run;
-            run.kind = job.param("channel") < 0.5 ? ChannelKind::kPrac
-                                                  : ChannelKind::kRfm;
-            run.pattern = static_cast<attack::MessagePattern>(
-                static_cast<int>(job.param("pattern")));
-            run.message_bytes = bytes;
-            run.seed = job.seed;
-            // Eq. 2: sleep in [0.2 us, 2 us] maps to intensity
-            // [100 %, 1 %].
-            run.noise_sleep = stats::sleepForIntensity(
-                job.param("intensity"), 200'000, 2'000'000);
-            const auto result = core::runChannel(run);
-            return {{job.param("channel"), job.param("intensity"),
-                     job.param("pattern"), result.raw_bit_rate,
-                     result.symbol_error, result.capacity,
-                     static_cast<double>(result.backoffs),
-                     static_cast<double>(result.rfms)}};
-        };
-        return spec;
-    };
-    fig.summarize = [](const SweepResult &result) {
-        // Average the four patterns per (channel, intensity), as the
-        // paper does (§6.3).
-        const auto capacity = groupMean(result, {0, 1}, 5);
-        const auto error = groupMean(result, {0, 1}, 4);
-        core::Table table({"channel", "intensity (%)", "error prob",
-                           "capacity (Kbps)"});
-        for (const auto &[key, cap] : capacity)
-            table.addRow({key[0] < 0.5 ? "PRAC" : "RFM",
-                          core::fmt(key[1], 0),
-                          core::fmt(error.at(key), 3),
-                          core::fmt(cap / 1000.0, 1)});
-        return table.str() +
-               "\npaper reference: PRAC 28.8 Kbps @1% noise, RFM 46.3 "
-               "Kbps @1%; RFM degrades faster with noise.\n";
-    };
-    return fig;
-}
-
-// ------------------------------------------- capacity vs threshold
-
-Figure
-thresholdFigure()
-{
-    Figure fig;
-    fig.name = "threshold";
-    fig.title = "Covert-channel capacity vs RowHammer threshold "
-                "across defenses";
-    fig.paper_ref = "§6, §7, §11 (Figs. 11-13 axis)";
-    fig.csv_name = "fig_capacity_vs_threshold.csv";
-    fig.make = [](const RunOptions &opts) {
-        const Scale scale = scaleOf(opts);
-        SweepSpec spec;
-        spec.name = "threshold";
-        spec.description = "Channel capacity against each defense as "
-                           "NRH (and the derived NBO/TRFM) scales";
-        spec.base_seed = seedOr(opts, 1);
-        std::vector<double> defenses;
-        if (scale == Scale::kSmoke) {
-            defenses = {
-                static_cast<double>(DefenseKind::kPrac),
-                static_cast<double>(DefenseKind::kPrfm),
-                static_cast<double>(DefenseKind::kFrRfm)};
-        } else {
-            defenses = {
-                static_cast<double>(DefenseKind::kPrac),
-                static_cast<double>(DefenseKind::kPracRiac),
-                static_cast<double>(DefenseKind::kPracBank),
-                static_cast<double>(DefenseKind::kPrfm),
-                static_cast<double>(DefenseKind::kFrRfm)};
-        }
-        spec.axes = {
-            {"defense", std::move(defenses)},
-            {"nrh", scale == Scale::kSmoke
-                        ? std::vector<double>{256, 128, 64}
-                        : std::vector<double>{1024, 512, 256, 128, 64}}};
-        const std::size_t bytes = scale == Scale::kFull ? 100
-                                  : scale == Scale::kDefault ? 20
-                                                             : 4;
-        spec.columns = {"defense", "nrh", "raw_bit_rate",
-                        "error_probability", "capacity", "backoffs",
-                        "rfms"};
-        spec.job = [bytes](const Job &job) -> JobRows {
-            const auto kind =
-                static_cast<DefenseKind>(static_cast<int>(
-                    job.param("defense")));
-            const auto nrh =
-                static_cast<std::uint32_t>(job.param("nrh"));
-            // Secure parameters derive from NRH via policy.hh; only
-            // the RIAC variant consumes randomness.
-            sys::SystemConfig cfg = sys::SystemConfig::paper(kind, nrh);
-            cfg.defense.seed = job.seed;
-            sys::System system(cfg);
-
-            // The receiver listens for the defense's own preventive
-            // action: back-offs for the PRAC family, RFM latency
-            // events for the RFM family.
-            const bool rfm_family = kind == DefenseKind::kPrfm ||
-                                    kind == DefenseKind::kFrRfm;
-            auto channel_cfg = attack::makeChannelConfig(
-                system,
-                rfm_family ? ChannelKind::kRfm : ChannelKind::kPrac);
-
-            const auto bits = attack::patternBits(
-                attack::MessagePattern::kCheckered0, bytes * 8);
-            std::vector<std::uint8_t> symbols;
-            for (bool b : bits)
-                symbols.push_back(b ? 1 : 0);
-            const auto result =
-                attack::runCovertChannel(system, channel_cfg, symbols);
-            return {{job.param("defense"), job.param("nrh"),
-                     result.raw_bit_rate, result.symbol_error,
-                     result.capacity,
-                     static_cast<double>(result.backoffs),
-                     static_cast<double>(result.rfms)}};
-        };
-        return spec;
-    };
-    fig.summarize = [](const SweepResult &result) {
-        core::Table table({"defense", "NRH", "error prob",
-                           "capacity (Kbps)"});
-        for (const auto &row : result.rows)
-            table.addRow({defense::defenseName(static_cast<DefenseKind>(
-                              static_cast<int>(row[0]))),
-                          core::fmt(row[1], 0), core::fmt(row[3], 3),
-                          core::fmt(row[4] / 1000.0, 1)});
-        return table.str() +
-               "\nFR-RFM's fixed grid carries no information "
-               "(capacity ~0) at any threshold -- the paper's §11.1 "
-               "countermeasure.\n";
-    };
-    return fig;
-}
-
-// ---------------------------------------------------- Figs. 9 and 10
-
-constexpr std::uint32_t kFingerprintWindows = 32;
-
-Figure
-fingerprintFigure()
-{
-    Figure fig;
-    fig.name = "fingerprint";
-    fig.title = "Website fingerprinting via PRAC back-off traces";
-    fig.paper_ref = "Figs. 9 & 10, Table 2";
-    fig.csv_name = "fig_website_fingerprint.csv";
-    fig.make = [](const RunOptions &opts) {
-        const Scale scale = scaleOf(opts);
-        std::uint32_t sites = 8, loads = 10;
-        sim::Tick duration = 2 * sim::kMs;
-        if (scale == Scale::kSmoke) {
-            sites = 4;
-            loads = 6;
-        } else if (scale == Scale::kFull) {
-            sites = 40;
-            loads = 50;
-            duration = 4 * sim::kMs;
-        }
-        SweepSpec spec;
-        spec.name = "fingerprint";
-        spec.description = "Per-(site, load) back-off traces reduced "
-                           "to the 39-feature fingerprint vector";
-        spec.base_seed = seedOr(opts, 2025);
-        spec.axes = {{"site", iota(sites)}, {"load", iota(loads)}};
-        spec.columns = {"site", "load", "backoffs"};
-        for (std::uint32_t f = 0; f < kFingerprintWindows + 7; ++f)
-            spec.columns.push_back("f" + std::to_string(f));
-        const std::uint64_t base_seed = spec.base_seed;
-        spec.job = [sites, loads, duration,
-                    base_seed](const Job &job) -> JobRows {
-            core::FingerprintSpec fp;
-            fp.sites = sites;
-            fp.loads_per_site = loads;
-            fp.duration = duration;
-            // The website trace is a function of (site, load, seed):
-            // keep the base seed so loads are the paper's repeated
-            // page visits, not fresh sites.
-            fp.seed = base_seed;
-            const auto sample = core::collectOneFingerprint(
-                fp, static_cast<std::uint32_t>(job.param("site")),
-                static_cast<std::uint32_t>(job.param("load")));
-            const auto features = attack::extractFeatures(
-                sample.backoff_times, sample.duration,
-                kFingerprintWindows);
-            std::vector<double> row = {
-                job.param("site"), job.param("load"),
-                static_cast<double>(sample.backoff_times.size())};
-            row.insert(row.end(), features.values.begin(),
-                       features.values.end());
-            return {std::move(row)};
-        };
-        return spec;
-    };
-    fig.summarize = [](const SweepResult &result) {
-        // Rebuild the dataset from the merged rows and train the
-        // paper's classifier on held-out loads (Fig. 10).
-        ml::Dataset data;
-        for (const auto &row : result.rows)
-            data.add(std::vector<double>(row.begin() + 3, row.end()),
-                     static_cast<int>(row[0]));
-        const auto split = ml::stratifiedSplit(data, 0.25, 99);
-        ml::RandomForest model;
-        model.fit(split.train);
-        const auto cm = ml::evaluate(model, split.test);
-        core::Table table({"metric", "value"});
-        table.addRow({"held-out accuracy", core::fmt(cm.accuracy(), 3)});
-        table.addRow({"chance", core::fmt(1.0 / data.n_classes, 3)});
-        table.addRow({"macro F1", core::fmt(cm.macroF1(), 3)});
-        return table.str() +
-               "\npaper reference: ~90% accuracy over 40 sites at "
-               "NRH = 64 (Fig. 10).\n";
-    };
-    return fig;
-}
-
-// ----------------------------------------------------------- Fig. 13
-
-Figure
-mitigationFigure()
-{
-    Figure fig;
-    fig.name = "mitigation";
-    fig.title = "Performance of RowHammer defenses vs threshold "
-                "(normalized weighted speedup)";
-    fig.paper_ref = "Fig. 13";
-    fig.csv_name = "fig_mitigation_performance.csv";
-    fig.make = [](const RunOptions &opts) {
-        const Scale scale = scaleOf(opts);
-        SweepSpec spec;
-        spec.name = "mitigation";
-        spec.description = "Normalized weighted speedup of each "
-                           "defense per NRH and workload mix";
-        spec.base_seed = seedOr(opts, 42);
-        std::vector<double> defenses;
-        std::vector<double> nrhs;
-        std::uint32_t mixes = 3;
-        std::uint64_t insts = 100'000;
-        if (scale == Scale::kSmoke) {
-            defenses = {static_cast<double>(DefenseKind::kPrac),
-                        static_cast<double>(DefenseKind::kPrfm),
-                        static_cast<double>(DefenseKind::kFrRfm)};
-            nrhs = {1024, 64};
-            mixes = 1;
-            insts = 20'000;
-        } else {
-            defenses = {static_cast<double>(DefenseKind::kPrac),
-                        static_cast<double>(DefenseKind::kPrfm),
-                        static_cast<double>(DefenseKind::kPracRiac),
-                        static_cast<double>(DefenseKind::kFrRfm),
-                        static_cast<double>(DefenseKind::kPracBank)};
-            nrhs = {1024, 512, 256, 128, 64};
-            if (scale == Scale::kFull) {
-                mixes = 60;
-                insts = 200'000;
-            }
-        }
-        spec.axes = {{"defense", std::move(defenses)},
-                     {"nrh", std::move(nrhs)},
-                     {"mix", iota(mixes)}};
-        spec.columns = {"defense", "nrh", "mix", "normalized_ws"};
-        // Mix generation is a pure function of the base seed: build
-        // the Fig.-13 workload set once and share it across jobs.
-        const auto all_mixes =
-            workload::makeMixes(mixes, 4, spec.base_seed);
-        spec.job = [all_mixes, insts](const Job &job) -> JobRows {
-            const auto &mix =
-                all_mixes[static_cast<std::size_t>(job.param("mix"))];
-            const double ws = core::runPerfCell(
-                static_cast<DefenseKind>(
-                    static_cast<int>(job.param("defense"))),
-                static_cast<std::uint32_t>(job.param("nrh")), {mix}, 4,
-                insts);
-            return {{job.param("defense"), job.param("nrh"),
-                     job.param("mix"), ws}};
-        };
-        return spec;
-    };
-    fig.summarize = [](const SweepResult &result) {
-        const auto mean_ws = groupMean(result, {0, 1}, 3);
-        core::Table table({"defense", "NRH", "normalized WS"});
-        for (const auto &[key, ws] : mean_ws)
-            table.addRow({defense::defenseName(static_cast<DefenseKind>(
-                              static_cast<int>(key[0]))),
-                          core::fmt(key[1], 0), core::fmt(ws, 3)});
-        return table.str() +
-               "\npaper reference: FR-RFM costs 18.2x at NRH = 64; "
-               "PRAC stays within a few percent (Fig. 13).\n";
-    };
-    return fig;
-}
-
-} // namespace
-
 const std::vector<Figure> &
 figures()
 {
-    static const std::vector<Figure> registry = {
-        latencyFigure(), capacityFigure(), thresholdFigure(),
-        fingerprintFigure(), mitigationFigure()};
+    static const std::vector<Figure> registry = [] {
+        std::vector<Figure> all;
+        for (auto family_of : {covertFigures, fingerprintFigures,
+                               countermeasureFigures}) {
+            auto family = family_of();
+            all.insert(all.end(),
+                       std::make_move_iterator(family.begin()),
+                       std::make_move_iterator(family.end()));
+        }
+        return all;
+    }();
     return registry;
 }
 
