@@ -52,6 +52,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # and its CSV is bit-identical on 4 threads vs 1 thread.
 ci/smoke_figures.sh "$BUILD_DIR/leakyhammer" "$BUILD_DIR/repro"
 
+# Docs gate (default variant only -- the docs don't change per build
+# flavour): docs/FIGURES.md must cover exactly the figure registry the
+# binary reports, and every relative markdown link must resolve.
+if [ "$BUILD_VARIANT" = default ]; then
+    "$BUILD_DIR/leakyhammer" list --names > "$BUILD_DIR/figure_names.txt"
+    python3 tools/check_docs.py --names "$BUILD_DIR/figure_names.txt"
+fi
+
 # Perf harness: run every benchmark to completion and guard against
 # regressions on the variant whose numbers are comparable to the
 # tracked baseline (Release, hot-path checks off). The other variants

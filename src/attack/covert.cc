@@ -282,6 +282,9 @@ runCovertChannel(sys::System &system, const CovertConfig &cfg,
         stats::channelCapacity(result.raw_bit_rate, result.symbol_error);
     result.backoffs = system.controller(0).stats().backoffs;
     result.rfms = system.controller(0).stats().rfms;
+    result.targeted_refreshes =
+        system.controller(0).stats().targeted_refreshes;
+    result.counter_fetches = system.controller(0).stats().counter_fetches;
     return result;
 }
 

@@ -164,6 +164,8 @@ struct ChannelResult {
     double capacity = 0.0;     ///< bits/s (Eq. 1).
     std::uint64_t backoffs = 0; ///< Ground truth preventive actions.
     std::uint64_t rfms = 0;
+    std::uint64_t targeted_refreshes = 0; ///< Tracker VRRs (ground truth).
+    std::uint64_t counter_fetches = 0;    ///< Hydra CC-miss traffic.
 };
 
 /**

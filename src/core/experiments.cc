@@ -32,6 +32,17 @@ prfmAttackSystem()
     return cfg;
 }
 
+sys::SystemConfig
+trackerAttackSystem(DefenseKind kind)
+{
+    LEAKY_ASSERT(kind == DefenseKind::kGraphene ||
+                     kind == DefenseKind::kHydra,
+                 "not a tracker defense: %s", defense::defenseName(kind));
+    // NRH = 160 matches the PRAC attack studies' threat level; the
+    // policy derives a targeted-refresh threshold of 80.
+    return sys::SystemConfig::paper(kind, 160);
+}
+
 // ------------------------------------------------------------- Fig. 2
 
 LatencyTraceResult
@@ -464,6 +475,95 @@ runGranularityCell(ChannelKind kind, int bankgroup, int bank,
     }
     const auto bits = attack::patternBits(
         attack::MessagePattern::kCheckered1, message_bytes * 8);
+    return attack::runCovertChannel(
+        system, cfg, attack::symbolsFromBits(bits, 2));
+}
+
+// --------------------------------------- tracker family (cross-defense)
+
+namespace {
+
+/** Receiver configuration for a defense whose observable is a
+ *  bank-blocking window (RFM / targeted refresh): count slow events
+ *  against Trecv. The tracker receiver calibrates its slow-event
+ *  threshold to the VRR window (shorter than a full RFM), keeping
+ *  Hydra's sub-band counter fetches out of the detection class. */
+attack::CovertConfig
+trackerChannelConfig(sys::System &system)
+{
+    attack::CovertConfig cfg =
+        attack::makeChannelConfig(system, ChannelKind::kRfm);
+    cfg.trecv = 2;
+    cfg.classifier.rfm_min = 200'000;
+    return cfg;
+}
+
+std::unique_ptr<attack::NoiseAgent>
+attachNoise(sys::System &system, Tick noise_sleep)
+{
+    if (noise_sleep == 0)
+        return nullptr;
+    attack::NoiseConfig noise_cfg;
+    noise_cfg.addrs = attack::rowsInBank(system.mapper(), 0, 0, 0, 0,
+                                         3000, 6, 512);
+    noise_cfg.sleep = noise_sleep;
+    auto noise = std::make_unique<attack::NoiseAgent>(system, noise_cfg);
+    noise->start();
+    return noise;
+}
+
+} // namespace
+
+attack::ChannelResult
+runCrossDefenseCell(DefenseKind kind, Tick noise_sleep,
+                    std::size_t message_bytes, std::uint64_t seed)
+{
+    sys::SystemConfig sys_cfg;
+    const bool prac_family = kind == DefenseKind::kPrac ||
+                             kind == DefenseKind::kPracRiac ||
+                             kind == DefenseKind::kPracBank;
+    if (prac_family) {
+        sys_cfg = pracAttackSystem();
+        sys_cfg.defense.kind = kind;
+    } else if (kind == DefenseKind::kPrfm) {
+        sys_cfg = prfmAttackSystem();
+    } else if (kind == DefenseKind::kGraphene ||
+               kind == DefenseKind::kHydra) {
+        sys_cfg = trackerAttackSystem(kind);
+    } else {
+        sys_cfg = sys::SystemConfig::paper(kind, 160);
+    }
+    sys_cfg.defense.seed = seed;
+    sys::System system(sys_cfg);
+
+    attack::CovertConfig cfg =
+        prac_family
+            ? attack::makeChannelConfig(system, ChannelKind::kPrac)
+        : (kind == DefenseKind::kGraphene || kind == DefenseKind::kHydra)
+            ? trackerChannelConfig(system)
+            : attack::makeChannelConfig(system, ChannelKind::kRfm);
+
+    auto noise = attachNoise(system, noise_sleep);
+    const auto bits = attack::patternBits(
+        attack::MessagePattern::kCheckered0, message_bytes * 8);
+    return attack::runCovertChannel(
+        system, cfg, attack::symbolsFromBits(bits, 2));
+}
+
+attack::ChannelResult
+runTrackerThresholdCell(DefenseKind kind, std::uint32_t threshold,
+                        std::uint32_t cc_entries,
+                        std::size_t message_bytes, std::uint64_t seed)
+{
+    sys::SystemConfig sys_cfg = trackerAttackSystem(kind);
+    sys_cfg.defense.tracker_threshold_override = threshold;
+    sys_cfg.defense.hydra_cc_entries = cc_entries;
+    sys_cfg.defense.seed = seed;
+    sys::System system(sys_cfg);
+
+    attack::CovertConfig cfg = trackerChannelConfig(system);
+    const auto bits = attack::patternBits(
+        attack::MessagePattern::kCheckered0, message_bytes * 8);
     return attack::runCovertChannel(
         system, cfg, attack::symbolsFromBits(bits, 2));
 }

@@ -37,6 +37,10 @@ sys::SystemConfig pracAttackSystem();
 /** Paper §7 system: PRFM with TRFM = 40. */
 sys::SystemConfig prfmAttackSystem();
 
+/** Tracker-family system (Graphene / Hydra) at the attack-study
+ *  operating point: NRH = 160, targeted-refresh threshold 80. */
+sys::SystemConfig trackerAttackSystem(defense::DefenseKind kind);
+
 // ------------------------------------------------------------- Fig. 2
 
 /** Fig. 2: latencies of consecutive requests under PRAC (Listing 1). */
@@ -185,6 +189,28 @@ attack::ChannelResult runGranularityCell(attack::ChannelKind kind,
                                          int bankgroup, int bank,
                                          std::size_t message_bytes,
                                          std::uint64_t seed);
+
+// --------------------------------------- tracker family (cross-defense)
+
+/** One cross-defense covert cell: the generic LeakyHammer sender vs a
+ *  system protected by @p kind, with Eq.-2 noise at @p noise_sleep.
+ *  The receiver strategy adapts to the defense's observable: back-off
+ *  detection for the PRAC family, slow-event counting for the
+ *  RFM/tracker families (RFM windows and targeted refreshes land in
+ *  the same latency band, above conflicts and below refreshes). */
+attack::ChannelResult runCrossDefenseCell(defense::DefenseKind kind,
+                                          Tick noise_sleep,
+                                          std::size_t message_bytes,
+                                          std::uint64_t seed);
+
+/** One tracker-threshold cell: a Graphene/Hydra system with the
+ *  targeted-refresh threshold pinned to @p threshold (and, for Hydra,
+ *  @p cc_entries counter-cache entries; 0 = default). */
+attack::ChannelResult runTrackerThresholdCell(defense::DefenseKind kind,
+                                              std::uint32_t threshold,
+                                              std::uint32_t cc_entries,
+                                              std::size_t message_bytes,
+                                              std::uint64_t seed);
 
 // ------------------------------------------------------------- Fig. 13
 

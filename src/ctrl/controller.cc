@@ -457,10 +457,22 @@ MemoryController::progressBankTasks(Tick now)
                 notify(PreventiveEvent::kBankBackoff, task.start, end,
                        task.rfm.target);
             } else {
-                stats_.rfms += 1;
+                PreventiveEvent ev = PreventiveEvent::kRfm;
+                switch (task.rfm.action) {
+                  case PreventiveActionKind::kRfm:
+                    stats_.rfms += 1;
+                    break;
+                  case PreventiveActionKind::kVictimRefresh:
+                    stats_.targeted_refreshes += 1;
+                    ev = PreventiveEvent::kTargetedRefresh;
+                    break;
+                  case PreventiveActionKind::kCounterFetch:
+                    stats_.counter_fetches += 1;
+                    ev = PreventiveEvent::kCounterFetch;
+                    break;
+                }
                 defense_->onRfmIssued(task.rfm, task.start, end);
-                notify(PreventiveEvent::kRfm, task.start, end,
-                       task.rfm.target);
+                notify(ev, task.start, end, task.rfm.target);
             }
             bank_tasks_.erase(bank_tasks_.begin() +
                               static_cast<std::ptrdiff_t>(i));

@@ -57,10 +57,12 @@ struct CtrlConfig {
 
 /** Timeline event kinds exposed to listeners (attack ground truth). */
 enum class PreventiveEvent : std::uint8_t {
-    kRefresh,     ///< Periodic REF window.
-    kBackoff,     ///< Channel-scope ABO recovery (PRAC).
-    kBankBackoff, ///< Bank-scope ABO recovery (Bank-Level PRAC).
-    kRfm          ///< Standalone RFM (PRFM / FR-RFM).
+    kRefresh,         ///< Periodic REF window.
+    kBackoff,         ///< Channel-scope ABO recovery (PRAC).
+    kBankBackoff,     ///< Bank-scope ABO recovery (Bank-Level PRAC).
+    kRfm,             ///< Standalone RFM (PRFM / FR-RFM).
+    kTargetedRefresh, ///< Victim-row refresh (Graphene / Hydra).
+    kCounterFetch     ///< Hydra counter-cache fill traffic.
 };
 
 /** One memory channel's controller. */

@@ -20,9 +20,25 @@ using dram::Address;
 using dram::Command;
 using sim::Tick;
 
-/** An RFM the defense wants the controller to issue. */
+/**
+ * What a controller-side defense action *is*, independent of the DRAM
+ * command that implements it. The controller keeps per-kind counters
+ * (CtrlStats) and emits per-kind PreventiveEvents, so attacks can
+ * distinguish the observables: RFM windows (PRFM / FR-RFM), targeted
+ * victim-row refreshes (Graphene / Hydra / PARA's neighbour refresh),
+ * and Hydra's counter-cache fill traffic.
+ */
+enum class PreventiveActionKind : std::uint8_t {
+    kRfm,           ///< Refresh-management window (RFMab/sb/pb).
+    kVictimRefresh, ///< Targeted refresh of one aggressor's victims.
+    kCounterFetch   ///< Counter-cache miss: fetch a row counter from DRAM.
+};
+
+/** An RFM-like command the defense wants the controller to issue. */
 struct RfmRequest {
     Command kind = Command::kRfmAll;
+    /** What the command models (stats / listener classification). */
+    PreventiveActionKind action = PreventiveActionKind::kRfm;
     Address target;          ///< rank (+ bank for kRfmSameBank).
     bool all_ranks = false;  ///< Issue to every rank (channel scope).
     /**

@@ -46,6 +46,8 @@ struct CtrlStats {
     std::uint64_t row_conflicts = 0;
     std::uint64_t refreshes = 0;
     std::uint64_t rfms = 0;          ///< All RFM kinds.
+    std::uint64_t targeted_refreshes = 0; ///< VRRs (tracker defenses).
+    std::uint64_t counter_fetches = 0; ///< Hydra counter-cache fills.
     std::uint64_t backoffs = 0;      ///< ABO recoveries (channel scope).
     std::uint64_t bank_backoffs = 0; ///< Bank-Level PRAC recoveries.
     std::uint64_t precise_slips = 0; ///< Precise REF/RFMs issued late.

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "defense/fr_rfm.hh"
+#include "defense/graphene.hh"
+#include "defense/hydra.hh"
 #include "defense/para.hh"
 #include "defense/prac.hh"
 #include "defense/prfm.hh"
@@ -21,6 +23,8 @@ defenseName(DefenseKind kind)
       case DefenseKind::kPrfm: return "PRFM";
       case DefenseKind::kFrRfm: return "FR-RFM";
       case DefenseKind::kPara: return "PARA";
+      case DefenseKind::kGraphene: return "Graphene";
+      case DefenseKind::kHydra: return "Hydra";
     }
     return "?";
 }
@@ -83,6 +87,35 @@ makeDefense(const DefenseSpec &spec, const dram::DramConfig &dram_cfg,
         cfg.probability = spec.para_probability;
         cfg.seed = spec.seed;
         bundle.controller = std::make_unique<ParaDefense>(cfg);
+        break;
+      }
+      case DefenseKind::kGraphene: {
+        GrapheneConfig cfg;
+        cfg.threshold = spec.tracker_threshold_override
+                            ? spec.tracker_threshold_override
+                            : trackerThresholdFor(spec.nrh);
+        cfg.table_entries =
+            grapheneEntriesFor(spec.nrh, dram_cfg.timing);
+        bundle.controller =
+            std::make_unique<GrapheneDefense>(dram_cfg, cfg);
+        break;
+      }
+      case DefenseKind::kHydra: {
+        HydraConfig cfg;
+        // Clamp to >= 2 so any override leaves room for a group
+        // threshold strictly below the row threshold.
+        cfg.row_threshold = std::max<std::uint32_t>(
+            2, spec.tracker_threshold_override
+                   ? spec.tracker_threshold_override
+                   : trackerThresholdFor(spec.nrh));
+        // Keep the two-level invariant even when the sweep pins the
+        // row threshold below the policy's group threshold.
+        cfg.group_threshold =
+            std::min(hydraGroupThresholdFor(spec.nrh),
+                     cfg.row_threshold > 1 ? cfg.row_threshold - 1 : 1);
+        if (spec.hydra_cc_entries)
+            cfg.cc_entries = spec.hydra_cc_entries;
+        bundle.controller = std::make_unique<HydraDefense>(dram_cfg, cfg);
         break;
       }
     }

@@ -20,7 +20,8 @@
 
 namespace leaky::defense {
 
-/** The defenses evaluated in the paper. */
+/** The defenses evaluated in the paper, plus the tracker family the
+ *  channel analysis generalises to (Graphene / Hydra). */
 enum class DefenseKind : std::uint8_t {
     kNone,     ///< Baseline: no RowHammer mitigation.
     kPrac,     ///< PRAC (§6).
@@ -28,7 +29,9 @@ enum class DefenseKind : std::uint8_t {
     kPracBank, ///< Bank-Level PRAC (§11.3).
     kPrfm,     ///< Periodic RFM (§7).
     kFrRfm,    ///< Fixed-Rate RFM (§11.1).
-    kPara      ///< PARA baseline (§12).
+    kPara,     ///< PARA baseline (§12).
+    kGraphene, ///< Misra-Gries frequent-item tracker (Graphene-style).
+    kHydra     ///< Two-level filter + counter cache (Hydra-style).
 };
 
 const char *defenseName(DefenseKind kind);
@@ -48,6 +51,12 @@ struct DefenseSpec {
     sim::Tick aboact_override = 0;
     sim::Tick fr_rfm_period_override = 0;
     double para_probability = 0.02;
+    /** Tracker (Graphene/Hydra) targeted-refresh threshold override
+     *  (0 = trackerThresholdFor(nrh)); the tracker-threshold figure
+     *  sweeps it. */
+    std::uint32_t tracker_threshold_override = 0;
+    /** Hydra counter-cache entries (0 = the 2048-entry default). */
+    std::uint32_t hydra_cc_entries = 0;
     /** Warm-start PRAC counters (performance studies; see prac.hh). */
     bool warm_counters = false;
     std::uint64_t seed = 1;

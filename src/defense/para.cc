@@ -16,6 +16,7 @@ ParaDefense::onActivate(const ctrl::Address &addr, Tick)
         return;
     RfmRequest req;
     req.kind = dram::Command::kRfmOneBank;
+    req.action = ctrl::PreventiveActionKind::kVictimRefresh;
     req.target = addr;
     req.latency_override = cfg_.refresh_latency;
     pending_.push_back(req);

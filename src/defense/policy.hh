@@ -12,6 +12,10 @@
  * - FR-RFM's period is TRFM x tRC (§11.1), clamped so an RFM window plus
  *   the drain lead still fits (otherwise the schedule is physically
  *   unrealisable and the controller would never serve any request).
+ * - Tracker defenses (Graphene, Hydra) refresh an aggressor's victims
+ *   once its activation count reaches NRH / 2, so a row can never
+ *   accumulate NRH activations between two targeted refreshes. Hydra's
+ *   group filter escalates to per-row counting at NRH / 4.
  */
 
 #ifndef LEAKY_DEFENSE_POLICY_HH
@@ -60,6 +64,47 @@ frRfmPeriodFor(std::uint32_t nrh, const dram::Timing &t, Tick drain_lead)
     const Tick natural = static_cast<Tick>(trfmFor(nrh)) * t.tRC;
     const Tick floor = t.tRFM + drain_lead + 20'000;
     return std::max(natural, floor);
+}
+
+/**
+ * Tracker (Graphene / Hydra) targeted-refresh threshold: refresh an
+ * aggressor's victims at half the RowHammer threshold, so counters reset
+ * before any row can reach NRH activations (min 8 to keep the tracker
+ * from thrashing at pathological NRH values).
+ */
+inline std::uint32_t
+trackerThresholdFor(std::uint32_t nrh)
+{
+    return std::max<std::uint32_t>(8, nrh / 2);
+}
+
+/**
+ * Graphene per-bank Misra-Gries table size: W / T entries guarantee any
+ * row activated more than T times within a refresh window W is tracked
+ * (Graphene's security argument). W is the maximum per-bank activation
+ * count in one tREFW (~32 ms / tRC ~= 667 K). The simulator clamps the
+ * result to [16, 256]: attack and figure workloads touch far fewer
+ * distinct rows per bank than even the clamped table holds, so the
+ * clamp never changes tracked state while keeping the eviction scan
+ * (only taken on a miss with a full table) cheap.
+ */
+inline std::uint32_t
+grapheneEntriesFor(std::uint32_t nrh, const dram::Timing &t)
+{
+    const std::uint64_t window_acts =
+        (32ull * 1000 * 1000 * 1000) / static_cast<std::uint64_t>(t.tRC);
+    const auto needed = static_cast<std::uint32_t>(
+        window_acts / trackerThresholdFor(nrh) + 1);
+    return std::min<std::uint32_t>(256, std::max<std::uint32_t>(16,
+                                                                needed));
+}
+
+/** Hydra group-filter escalation threshold: NRH / 4 (min 4). A row
+ *  group below it is provably safe without per-row counters. */
+inline std::uint32_t
+hydraGroupThresholdFor(std::uint32_t nrh)
+{
+    return std::max<std::uint32_t>(4, nrh / 4);
 }
 
 } // namespace leaky::defense

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-capacity growing ring of pending RfmRequests. std::deque frees
+ * and reallocates blocks as a sustained push/pop cycle crosses block
+ * boundaries, which would break the defenses' steady-state
+ * zero-allocation contract; this ring only allocates when it grows past
+ * its high-water mark, so a warmed-up defense never allocates again.
+ */
+
+#ifndef LEAKY_DEFENSE_REQUEST_QUEUE_HH
+#define LEAKY_DEFENSE_REQUEST_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ctrl/defense_iface.hh"
+#include "sim/logging.hh"
+
+namespace leaky::defense {
+
+/** FIFO of RfmRequests backed by a ring that grows only on overflow. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t initial_capacity = 16)
+        : buf_(initial_capacity)
+    {
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    void
+    push(const ctrl::RfmRequest &req)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[(head_ + size_) % buf_.size()] = req;
+        size_ += 1;
+    }
+
+    ctrl::RfmRequest
+    pop()
+    {
+        LEAKY_ASSERT(size_ > 0, "pop from empty RequestQueue");
+        ctrl::RfmRequest req = buf_[head_];
+        head_ = (head_ + 1) % buf_.size();
+        size_ -= 1;
+        return req;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<ctrl::RfmRequest> bigger(buf_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            bigger[i] = buf_[(head_ + i) % buf_.size()];
+        buf_.swap(bigger);
+        head_ = 0;
+    }
+
+    std::vector<ctrl::RfmRequest> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace leaky::defense
+
+#endif // LEAKY_DEFENSE_REQUEST_QUEUE_HH

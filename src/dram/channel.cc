@@ -142,6 +142,7 @@ DramChannel::earliestIssue(Command cmd, const Address &addr) const
         return earliest;
       }
       case Command::kRfmOneBank:
+      case Command::kVrr:
         return std::max(r.busy_until, b.closed_at);
     }
     sim::panic("unknown command");
@@ -182,6 +183,10 @@ DramChannel::issue(Command cmd, const Address &addr, Tick now,
       case Command::kRfmOneBank:
         return issueRfm(cmd, addr, now,
                         rfm_latency ? rfm_latency : cfg_.timing.tRFM,
+                        during_backoff);
+      case Command::kVrr:
+        return issueRfm(cmd, addr, now,
+                        rfm_latency ? rfm_latency : cfg_.timing.tVRR,
                         during_backoff);
     }
     sim::panic("unknown command");
@@ -305,10 +310,11 @@ DramChannel::issueRfm(Command kind, const Address &addr, Tick now,
         LEAKY_ASSERT(allBanksClosed(addr.rank),
                      "RFMab with open banks on rank %u", addr.rank);
         r.busy_until = now + latency;
-    } else if (kind == Command::kRfmOneBank) {
+    } else if (kind == Command::kRfmOneBank || kind == Command::kVrr) {
         auto &b = bank(addr);
         LEAKY_ASSERT(b.open_row == kNoRow,
-                     "RFMpb with open target bank %s", addr.str().c_str());
+                     "%s with open target bank %s", commandName(kind),
+                     addr.str().c_str());
         bump(b.next_act, now + latency);
         bump(b.closed_at, now + latency);
     } else {

@@ -100,6 +100,9 @@ struct Timing {
     Tick tABOACT = 180'000;    ///< Normal-traffic window after alert.
     Tick tAlert = 5'000;       ///< PRE -> alert visible at the controller.
     Tick tABOCooldown = 250'000; ///< Min gap between alert assertions.
+    /** Victim-row (targeted) refresh window: blast radius 2, i.e. four
+     *  neighbour row cycles back-to-back (tracker defenses). */
+    Tick tVRR = 190'000;
 };
 
 /** Full per-channel configuration. */

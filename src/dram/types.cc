@@ -17,6 +17,7 @@ commandName(Command cmd)
       case Command::kRfmAll: return "RFMab";
       case Command::kRfmSameBank: return "RFMsb";
       case Command::kRfmOneBank: return "RFMpb";
+      case Command::kVrr: return "VRR";
     }
     return "?";
 }

@@ -22,11 +22,20 @@ enum class Command : std::uint8_t {
     kRef,        ///< All-bank periodic refresh (blocks rank for tRFC).
     kRfmAll,     ///< Refresh management, all banks (blocks rank).
     kRfmSameBank, ///< Refresh management, same bank in every bank group.
-    kRfmOneBank  ///< Bank-Level PRAC back-off: blocks exactly one bank.
+    kRfmOneBank, ///< Bank-Level PRAC back-off: blocks exactly one bank.
+    /**
+     * Victim-row refresh (targeted refresh): a tracker defense
+     * (Graphene / Hydra) refreshes the neighbours of one identified
+     * aggressor row. Blocks exactly one bank for tVRR (blast radius 2:
+     * four row cycles) -- the preventive action the tracker covert
+     * channels observe. Also reused with a short latency override to
+     * model Hydra's counter-cache fill traffic.
+     */
+    kVrr
 };
 
 /** Number of distinct Command values (for stats arrays). */
-inline constexpr std::size_t kNumCommands = 9;
+inline constexpr std::size_t kNumCommands = 10;
 
 /** Human-readable command mnemonic. */
 const char *commandName(Command cmd);

@@ -49,6 +49,22 @@ usageError(const std::string &message, const char *command = nullptr)
 
 // --------------------------------------------------------------- list
 
+/** Jobs the figure expands to at smoke / default / full scale. */
+std::string
+scaleSetOf(const Figure &figure)
+{
+    RunOptions smoke, dflt, full;
+    smoke.smoke = true;
+    full.full = true;
+    std::string set;
+    for (const RunOptions *opts : {&smoke, &dflt, &full}) {
+        if (!set.empty())
+            set += "/";
+        set += std::to_string(jobCount(figure.make(*opts)));
+    }
+    return set;
+}
+
 int
 cmdList(int argc, char **argv)
 {
@@ -66,10 +82,15 @@ cmdList(int argc, char **argv)
         return kOk;
     }
 
-    core::Table figs({"figure", "paper", "artifact", "title"});
+    // The `jobs` column is the scale set: how many sweep jobs the
+    // figure expands to at --smoke / default / --full. It is derived
+    // from the registry itself, so docs/FIGURES.md can be checked
+    // against this output (tools/check_docs.py).
+    core::Table figs({"figure", "paper", "jobs (s/d/f)", "artifact",
+                      "title"});
     for (const auto &figure : figures())
-        figs.addRow({figure.name, figure.paper_ref, figure.csv_name,
-                     figure.title});
+        figs.addRow({figure.name, figure.paper_ref, scaleSetOf(figure),
+                     figure.csv_name, figure.title});
     std::printf("figures (leakyhammer repro --fig <name>):\n%s\n",
                 figs.str().c_str());
 

@@ -55,7 +55,7 @@ figures()
     static const std::vector<Figure> registry = [] {
         std::vector<Figure> all;
         for (auto family_of : {covertFigures, fingerprintFigures,
-                               countermeasureFigures}) {
+                               countermeasureFigures, trackerFigures}) {
             auto family = family_of();
             all.insert(all.end(),
                        std::make_move_iterator(family.begin()),

@@ -47,6 +47,7 @@ groupMean(const SweepResult &result, const std::vector<std::size_t> &keys,
 std::vector<Figure> covertFigures();         ///< Figs. 2-8, 11-12, §6.3.
 std::vector<Figure> fingerprintFigures();    ///< Figs. 9-10, T2, §10.3.
 std::vector<Figure> countermeasureFigures(); ///< Fig. 13, §9/11/12, T3.
+std::vector<Figure> trackerFigures();        ///< §13 generalisation.
 
 } // namespace leaky::runner
 

@@ -16,11 +16,13 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "testing_alloc_counter.hh"
 
 /** Allocation counter: this replaces the global allocator for the whole
  *  test binary, so tests can assert that a code region allocates
- *  nothing. Single-threaded counting is fine for this suite. */
-static std::atomic<std::uint64_t> g_heap_allocs{0};
+ *  nothing (other suites read it through testing_alloc_counter.hh).
+ *  Single-threaded counting is fine for this binary. */
+std::atomic<std::uint64_t> leaky_test_heap_allocs{0};
 
 // GCC pairs the replacement operator new with the library operator
 // delete and (wrongly) flags the malloc/free routing below.
@@ -29,7 +31,7 @@ static std::atomic<std::uint64_t> g_heap_allocs{0};
 void *
 operator new(std::size_t n)
 {
-    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    leaky_test_heap_allocs.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(n ? n : 1))
         return p;
     throw std::bad_alloc();
@@ -325,14 +327,14 @@ TEST(EventQueue, SteadyStateSchedulingDoesNotAllocate)
     // lambdas with small captures, mirroring the controller's tick /
     // completion pattern. None of this may touch the heap.
     ticker.limit = 1000;
-    const std::uint64_t allocs_before = g_heap_allocs.load();
+    const std::uint64_t allocs_before = leaky_test_heap_allocs.load();
     eq.schedule(ticker.ev, eq.now());
     for (int i = 0; i < 1000; ++i)
         eq.scheduleAfter(static_cast<Tick>(i % 31), [&counter] {
             counter += 1;
         });
     eq.run();
-    const std::uint64_t allocs_after = g_heap_allocs.load();
+    const std::uint64_t allocs_after = leaky_test_heap_allocs.load();
 
     EXPECT_EQ(allocs_after, allocs_before);
     EXPECT_EQ(ticker.ticks, 1000);

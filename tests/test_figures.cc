@@ -56,16 +56,18 @@ TEST(FigureRegistry, CoversTheFullPaperCatalogue)
     }
 }
 
-TEST(FigureRegistry, ExposesThePortedBinaries)
+TEST(FigureRegistry, ExposesTheFullCatalogue)
 {
-    // One registry entry per retired bench/ binary family.
+    // One registry entry per retired bench/ binary family, plus the
+    // tracker-family generalisation figures.
     for (const char *name :
          {"latency", "backoff-period", "message-prac", "message-rfm",
           "bitrate", "capacity", "appnoise", "multibit", "rfm-count",
           "action-latency", "fingerprint", "strips", "classifiers",
           "fingerprint-cv", "cache-prefetch", "threshold",
           "mitigation", "countermeasures", "counter-leak",
-          "granularity", "trigger"}) {
+          "granularity", "trigger", "cross-defense",
+          "tracker-threshold"}) {
         EXPECT_NE(runner::findFigure(name), nullptr) << name;
     }
     EXPECT_EQ(runner::findFigure("nope"), nullptr);

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Shared handle on the test binary's global allocation counter. The
+ * counting `operator new` replacement lives in test_event_queue.cc
+ * (there can only be one per binary); any suite asserting a
+ * zero-allocation steady state reads this counter around the region
+ * under test.
+ */
+
+#ifndef LEAKY_TESTS_TESTING_ALLOC_COUNTER_HH
+#define LEAKY_TESTS_TESTING_ALLOC_COUNTER_HH
+
+#include <atomic>
+#include <cstdint>
+
+/** Total calls into the replaced global operator new. */
+extern std::atomic<std::uint64_t> leaky_test_heap_allocs;
+
+#endif // LEAKY_TESTS_TESTING_ALLOC_COUNTER_HH

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Docs gate: keep the documentation verifiably in sync with the code.
+
+Two checks, stdlib-only so CI and laptops run it with any Python 3:
+
+1. **Figure catalogue coverage** (needs --names): every figure name the
+   `leakyhammer` binary registers must have a `### `name`` entry in
+   docs/FIGURES.md, and every catalogue entry must name a registered
+   figure — the catalogue can neither lag behind nor run ahead of the
+   registry.
+
+       build/leakyhammer list --names > names.txt
+       tools/check_docs.py --names names.txt
+
+2. **Link resolution** (always): every relative markdown link in
+   README.md and docs/*.md must point at an existing file. External
+   (http/https/mailto) links and pure #anchors are skipped; a trailing
+   #fragment on a relative link is stripped before the check.
+
+Exit status: 0 = docs in sync, 1 = at least one failure, 2 = bad
+invocation.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+HEADING_RE = re.compile(r"^###\s+`([^`]+)`")
+# [text](target) with no whitespace in the target; images (![...]) match
+# too via the optional bang.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def doc_files(root):
+    files = [os.path.join(root, "README.md")]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def check_catalogue(names_path, figures_md, failures):
+    try:
+        with open(names_path) as fh:
+            registered = [line.strip() for line in fh if line.strip()]
+    except OSError as err:
+        failures.append("cannot read --names file: %s" % err)
+        return
+    try:
+        with open(figures_md) as fh:
+            documented = [m.group(1) for m in
+                          (HEADING_RE.match(line) for line in fh) if m]
+    except OSError as err:
+        failures.append("cannot read %s: %s" % (figures_md, err))
+        return
+
+    for name in registered:
+        if name not in documented:
+            failures.append(
+                "figure '%s' is registered but has no '### `%s`' entry "
+                "in docs/FIGURES.md" % (name, name))
+    for name in documented:
+        if name not in registered:
+            failures.append(
+                "docs/FIGURES.md documents '%s', which the binary does "
+                "not register (stale entry?)" % name)
+    seen = set()
+    for name in documented:
+        if name in seen:
+            failures.append(
+                "docs/FIGURES.md documents '%s' twice" % name)
+        seen.add(name)
+    if not failures:
+        print("check_docs: catalogue in sync (%d figures)"
+              % len(registered))
+
+
+def check_links(files, failures):
+    checked = 0
+    for path in files:
+        base = os.path.dirname(path)
+        with open(path) as fh:
+            text = fh.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            checked += 1
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                failures.append(
+                    "%s: broken relative link '%s'"
+                    % (os.path.relpath(path, repo_root()),
+                       match.group(1)))
+    print("check_docs: %d relative links checked" % checked)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "--names",
+        help="file with one registered figure name per line (from "
+             "`leakyhammer list --names`); omits the catalogue check "
+             "when absent")
+    args = parser.parse_args(argv)
+
+    root = repo_root()
+    failures = []
+    if args.names:
+        check_catalogue(args.names, os.path.join(root, "docs",
+                                                 "FIGURES.md"),
+                        failures)
+    check_links(doc_files(root), failures)
+
+    for failure in failures:
+        print("check_docs: %s" % failure, file=sys.stderr)
+    if failures:
+        print("check_docs: %d failure(s)" % len(failures),
+              file=sys.stderr)
+        return 1
+    print("check_docs: docs are in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
