@@ -12,6 +12,14 @@ CounterLeakAttacker::CounterLeakAttacker(sys::MemoryPort &port,
 {
     LEAKY_ASSERT(cfg_.shared_addr != 0 && cfg_.conflict_addr != 0,
                  "counter leak needs shared and conflict rows");
+    // PRAC counters are per-channel; both rows must live on the
+    // channel the config names.
+    LEAKY_ASSERT(port_.mapper().decode(cfg_.shared_addr).channel ==
+                         cfg_.channel &&
+                     port_.mapper().decode(cfg_.conflict_addr).channel ==
+                         cfg_.channel,
+                 "counter-leak rows do not decode onto channel %u",
+                 cfg_.channel);
 }
 
 void

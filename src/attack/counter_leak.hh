@@ -25,6 +25,8 @@ namespace leaky::attack {
 struct CounterLeakConfig {
     std::uint64_t shared_addr = 0;   ///< Row shared with the victim.
     std::uint64_t conflict_addr = 0; ///< Attacker's same-bank row.
+    /** Channel both rows live on (PRAC counters are per-channel). */
+    std::uint32_t channel = 0;
     std::uint32_t nbo = 128;
     Tick iter_overhead = 15'000;
     LatencyClassifier classifier;

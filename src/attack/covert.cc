@@ -224,20 +224,25 @@ CovertReceiver::finalizeWindow()
 
 CovertConfig
 makeChannelConfig(sys::System &system, ChannelKind kind,
-                  std::uint32_t levels)
+                  std::uint32_t levels, std::uint32_t channel)
 {
+    LEAKY_ASSERT(channel < system.channels(),
+                 "covert channel targets memory channel %u of %u",
+                 channel, system.channels());
     CovertConfig cfg;
     cfg.kind = kind;
     cfg.levels = levels;
+    cfg.sender_channel = channel;
+    cfg.receiver_channel = channel;
     cfg.window = kind == ChannelKind::kPrac ? 25 * sim::kUs
                                             : 20 * sim::kUs;
-    const auto &timing = system.controller(0).config().dram.timing;
+    const auto &ctrl_cfg = system.controller(channel).config();
     cfg.classifier = LatencyClassifier::forTiming(
-        timing, 90'000, system.controller(0).config().rfms_per_backoff);
-    // Sender and receiver rows share bank (rank 0, bg 0, bank 0); any
-    // same-bank pair works (§5.2).
-    cfg.sender_addr = rowAddress(system.mapper(), 0, 0, 0, 0, 1000);
-    cfg.receiver_addr = rowAddress(system.mapper(), 0, 0, 0, 0, 2000);
+        ctrl_cfg.dram.timing, 90'000, ctrl_cfg.rfms_per_backoff);
+    // Sender and receiver rows share bank (rank 0, bg 0, bank 0) of
+    // the target channel; any same-bank pair works (§5.2).
+    cfg.sender_addr = rowAddress(system.mapper(), channel, 0, 0, 0, 1000);
+    cfg.receiver_addr = rowAddress(system.mapper(), channel, 0, 0, 0, 2000);
     // Multibit pacing: the back-off needs ~2 x NBO activations, and
     // activations accrue at ~2 per sender access, so the slowest symbol
     // must still fit ~NBO sender accesses in one window. Gaps below
@@ -257,6 +262,23 @@ runCovertChannel(sys::System &system, const CovertConfig &cfg,
                  const std::vector<std::uint8_t> &symbols,
                  Tick epoch_delay)
 {
+    // The channel fields are the ground-truth contract: they must
+    // agree with where the configured addresses actually decode, or
+    // the result's stats view reads the wrong channel.
+    LEAKY_ASSERT(system.mapper().decode(cfg.sender_addr).channel ==
+                     cfg.sender_channel,
+                 "sender_addr does not decode onto sender_channel %u",
+                 cfg.sender_channel);
+    LEAKY_ASSERT(system.mapper().decode(cfg.receiver_addr).channel ==
+                     cfg.receiver_channel,
+                 "receiver_addr does not decode onto receiver_channel "
+                 "%u",
+                 cfg.receiver_channel);
+    LEAKY_ASSERT(cfg.sender_addr2 == 0 ||
+                     system.mapper().decode(cfg.sender_addr2).channel ==
+                         cfg.sender_channel,
+                 "sender_addr2 does not decode onto sender_channel %u",
+                 cfg.sender_channel);
     CovertSender sender(system, cfg);
     CovertReceiver receiver(system, cfg);
 
@@ -271,20 +293,33 @@ runCovertChannel(sys::System &system, const CovertConfig &cfg,
         system.run(cfg.window);
     LEAKY_ASSERT(done, "receiver did not finish before the deadline");
 
+    // Ground truth from the channel the receiver listens on — under
+    // channels > 1 an implicit channel-0 read would silently drop
+    // every preventive action on the other channels.
+    return collectChannelResult(cfg.window, cfg.levels, symbols,
+                                receiver.decoded(),
+                                system.stats(cfg.receiver_channel));
+}
+
+ChannelResult
+collectChannelResult(Tick window, std::uint32_t levels,
+                     std::vector<std::uint8_t> sent,
+                     std::vector<std::uint8_t> received,
+                     const ctrl::CtrlStats &view)
+{
     ChannelResult result;
-    result.sent = symbols;
-    result.received = receiver.decoded();
+    result.sent = std::move(sent);
+    result.received = std::move(received);
     result.symbol_error =
         stats::symbolErrorRate(result.sent, result.received);
-    const double bps = bitsPerSymbol(cfg.levels);
-    result.raw_bit_rate = stats::rawBitRate(cfg.window, bps);
+    result.raw_bit_rate =
+        stats::rawBitRate(window, bitsPerSymbol(levels));
     result.capacity =
         stats::channelCapacity(result.raw_bit_rate, result.symbol_error);
-    result.backoffs = system.controller(0).stats().backoffs;
-    result.rfms = system.controller(0).stats().rfms;
-    result.targeted_refreshes =
-        system.controller(0).stats().targeted_refreshes;
-    result.counter_fetches = system.controller(0).stats().counter_fetches;
+    result.backoffs = view.backoffs;
+    result.rfms = view.rfms;
+    result.targeted_refreshes = view.targeted_refreshes;
+    result.counter_fetches = view.counter_fetches;
     return result;
 }
 

@@ -36,6 +36,20 @@ struct CovertConfig {
     std::uint32_t levels = 2;      ///< 2 = binary, 3 = ternary, 4 = quat.
     std::uint32_t trecv = 3;       ///< RFM-count threshold (PRFM, §7.3).
     Tick iter_overhead = 15'000;   ///< Loop overhead per access.
+    /**
+     * Channel the sender's rows live on. Defense instances are
+     * per-channel, so the sender only charges counters on THIS
+     * channel's defense.
+     */
+    std::uint32_t sender_channel = 0;
+    /**
+     * Channel the receiver's row lives on — the channel whose
+     * preventive actions the receiver observes and whose stats feed
+     * the ChannelResult ground truth. Differs from sender_channel
+     * only in cross-channel isolation studies, where the channel must
+     * collapse (per-channel defenses share no state).
+     */
+    std::uint32_t receiver_channel = 0;
     std::uint64_t sender_addr = 0;
     /**
      * Optional second sender row in the same bank. When set, the sender
@@ -162,11 +176,25 @@ struct ChannelResult {
     double symbol_error = 0.0;
     double raw_bit_rate = 0.0; ///< bits/s.
     double capacity = 0.0;     ///< bits/s (Eq. 1).
+    /** Ground truth below is the RECEIVER channel's stats view —
+     *  explicit per-channel counters, not an implicit channel 0. */
     std::uint64_t backoffs = 0; ///< Ground truth preventive actions.
     std::uint64_t rfms = 0;
     std::uint64_t targeted_refreshes = 0; ///< Tracker VRRs (ground truth).
     std::uint64_t counter_fetches = 0;    ///< Hydra CC-miss traffic.
 };
+
+/**
+ * Assemble a ChannelResult: Eq.-1 metrics from the (sent, received)
+ * symbol streams at @p window / @p levels, ground truth from the
+ * channel-scoped stats @p view. The single definition of how covert
+ * results are collected — runCovertChannel and the multi-channel
+ * aggregate runner both go through here.
+ */
+ChannelResult collectChannelResult(Tick window, std::uint32_t levels,
+                                   std::vector<std::uint8_t> sent,
+                                   std::vector<std::uint8_t> received,
+                                   const ctrl::CtrlStats &view);
 
 /**
  * Run a complete transmission on @p system: instantiate sender and
@@ -178,9 +206,13 @@ ChannelResult runCovertChannel(sys::System &system, const CovertConfig &cfg,
                                const std::vector<std::uint8_t> &symbols,
                                Tick epoch_delay = 2 * sim::kUs);
 
-/** Fill in addresses/classifier/window defaults for @p system. */
+/**
+ * Fill in addresses/classifier/window defaults for @p system, placing
+ * both endpoints on memory channel @p channel (asserted to exist).
+ */
 CovertConfig makeChannelConfig(sys::System &system, ChannelKind kind,
-                               std::uint32_t levels = 2);
+                               std::uint32_t levels = 2,
+                               std::uint32_t channel = 0);
 
 /**
  * Calibrate multibit decode cut points: transmit a known symbol ramp on

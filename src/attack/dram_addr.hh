@@ -14,15 +14,22 @@
 #include <vector>
 
 #include "dram/address_mapper.hh"
+#include "sim/logging.hh"
 
 namespace leaky::attack {
 
-/** Physical address of (channel, rank, bankgroup, bank, row, column). */
+/** Physical address of (channel, rank, bankgroup, bank, row, column).
+ *  Asserts the channel exists in @p mapper's topology up front — a
+ *  compose() of out-of-range coordinates would otherwise only trip the
+ *  generic field-range check deep inside the mapper. */
 inline std::uint64_t
 rowAddress(const dram::AddressMapper &mapper, std::uint32_t channel,
            std::uint32_t rank, std::uint32_t bankgroup, std::uint32_t bank,
            std::uint32_t row, std::uint32_t column = 0)
 {
+    LEAKY_ASSERT(channel < mapper.channels(),
+                 "attacker targets channel %u but the system has %u",
+                 channel, mapper.channels());
     dram::Address a;
     a.channel = channel;
     a.rank = rank;

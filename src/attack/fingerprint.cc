@@ -13,6 +13,12 @@ FingerprintProbe::FingerprintProbe(sys::MemoryPort &port,
 {
     LEAKY_ASSERT(!cfg_.rows.empty(), "probe needs test rows");
     LEAKY_ASSERT(cfg_.t_accesses > 0, "T must be positive");
+    // Back-offs are channel-wide but never wider: rows on any other
+    // channel would observe a different defense instance entirely.
+    for (auto row : cfg_.rows)
+        LEAKY_ASSERT(port_.mapper().decode(row).channel == cfg_.channel,
+                     "probe row does not decode onto channel %u",
+                     cfg_.channel);
 }
 
 void

@@ -25,6 +25,9 @@ namespace leaky::attack {
 /** Listing-2 fingerprinting routine configuration. */
 struct FingerprintConfig {
     std::vector<std::uint64_t> rows; ///< N test rows (same channel).
+    /** Channel the test rows live on. Back-offs are channel-wide, so
+     *  the probe only observes victims sharing this channel. */
+    std::uint32_t channel = 0;
     std::uint32_t t_accesses = 50;   ///< T: accesses per row visit (<NBO).
     Tick iter_overhead = 15'000;
     Tick duration = 4 * sim::kMs;    ///< Covers the page load.

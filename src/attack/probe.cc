@@ -39,6 +39,12 @@ LatencyProbe::LatencyProbe(sys::MemoryPort &port, ProbeConfig cfg)
     : port_(port), cfg_(std::move(cfg))
 {
     LEAKY_ASSERT(!cfg_.addrs.empty(), "probe needs at least one address");
+    // The channel field is the collector's contract (stats are read
+    // from it); every probe row must actually decode onto it.
+    for (auto addr : cfg_.addrs)
+        LEAKY_ASSERT(port_.mapper().decode(addr).channel == cfg_.channel,
+                     "probe address does not decode onto channel %u",
+                     cfg_.channel);
     samples_.reserve(cfg_.iterations);
 }
 

@@ -73,6 +73,9 @@ struct LatencyClassifier {
 /** Listing-1 probe configuration. */
 struct ProbeConfig {
     std::vector<std::uint64_t> addrs; ///< Rows to access in rotation.
+    /** Channel the probe rows live on — the channel whose defense the
+     *  probe observes; result collectors read that channel's stats. */
+    std::uint32_t channel = 0;
     std::uint32_t iterations = 512;
     /** Non-memory work per iteration: clflush + timer + loop control. */
     Tick iter_overhead = 15'000;

@@ -53,9 +53,12 @@ runLatencyTrace(std::uint32_t iterations, std::uint32_t rfms_per_backoff)
     sys::System system(cfg);
 
     attack::ProbeConfig probe_cfg;
+    probe_cfg.channel = 0; // Single-channel system; keep it explicit.
     probe_cfg.addrs = {
-        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 1000),
-        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 2000)};
+        attack::rowAddress(system.mapper(), probe_cfg.channel, 0, 0, 0,
+                           1000),
+        attack::rowAddress(system.mapper(), probe_cfg.channel, 0, 0, 0,
+                           2000)};
     probe_cfg.iterations = iterations;
     attack::LatencyProbe probe(system, probe_cfg);
 
@@ -68,8 +71,8 @@ runLatencyTrace(std::uint32_t iterations, std::uint32_t rfms_per_backoff)
     result.samples = probe.samples();
     result.classifier = attack::LatencyClassifier::forTiming(
         cfg.ctrl.dram.timing, 90'000, rfms_per_backoff);
-    result.backoffs = system.controller(0).stats().backoffs;
-    result.refreshes = system.controller(0).stats().refreshes;
+    result.backoffs = system.stats(probe_cfg.channel).backoffs;
+    result.refreshes = system.stats(probe_cfg.channel).refreshes;
 
     double sums[3] = {0, 0, 0};
     std::uint64_t counts[3] = {0, 0, 0};
@@ -103,14 +106,14 @@ runLatencyTrace(std::uint32_t iterations, std::uint32_t rfms_per_backoff)
 
 // -------------------------------------------------- Figs. 3-8 (covert)
 
-namespace {
-
 sys::SystemConfig
 channelSystemConfig(const ChannelRunSpec &spec)
 {
     sys::SystemConfig cfg = spec.kind == ChannelKind::kPrac
                                 ? pracAttackSystem()
                                 : prfmAttackSystem();
+    cfg.channels = spec.channels;
+    cfg.mapping = spec.mapping;
     cfg.defense.rfms_per_backoff = spec.rfms_per_backoff;
     cfg.defense.backoff_rfm_latency = spec.backoff_rfm_latency;
     cfg.defense.aboact_override = spec.aboact_override;
@@ -118,6 +121,8 @@ channelSystemConfig(const ChannelRunSpec &spec)
     cfg.ctrl.deterministic_refresh = spec.filter_refresh;
     return cfg;
 }
+
+namespace {
 
 /** Attach background SPEC-like cores; returns them for lifetime. */
 std::vector<std::unique_ptr<sys::TraceCore>>
@@ -144,21 +149,45 @@ attachBackground(sys::System &system,
     return cores;
 }
 
+/** §9.1 idiom for a non-colocated receiver, shared by every cell that
+ *  moves the receiver out of the sender's bank: the sender alternates
+ *  two of its own rows (every access conflicts) and, under PRAC,
+ *  charges the counters alone over a doubled window. */
+void
+selfConflictSender(attack::CovertConfig &cfg,
+                   const dram::AddressMapper &mapper,
+                   std::uint32_t sender_channel, ChannelKind kind)
+{
+    cfg.sender_addr2 =
+        attack::rowAddress(mapper, sender_channel, 0, 0, 0, 1064);
+    if (kind == ChannelKind::kPrac)
+        cfg.window = 50 * sim::kUs;
+}
+
 attack::CovertConfig
 channelConfig(sys::System &system, const ChannelRunSpec &spec)
 {
-    attack::CovertConfig cfg =
-        attack::makeChannelConfig(system, spec.kind, spec.levels);
+    attack::CovertConfig cfg = attack::makeChannelConfig(
+        system, spec.kind, spec.levels, spec.sender_channel);
+    if (spec.receiver_channel != spec.sender_channel) {
+        // Cross-channel placement: the receiver listens on its own
+        // channel's defense, and the sender self-conflicts (§9.1).
+        cfg.receiver_channel = spec.receiver_channel;
+        cfg.receiver_addr = attack::rowAddress(
+            system.mapper(), spec.receiver_channel, 0, 0, 0, 2000);
+        selfConflictSender(cfg, system.mapper(), spec.sender_channel,
+                           spec.kind);
+    }
+    const auto &timing =
+        system.controller(spec.sender_channel).config().dram.timing;
     if (spec.backoff_rfm_latency || spec.aboact_override) {
         // Re-derive thresholds for the modified back-off latency. The
         // controller's timing already carries the overrides.
-        const auto &timing = system.controller(0).config().dram.timing;
         cfg.classifier = attack::LatencyClassifier::forTiming(
             timing, 90'000, spec.rfms_per_backoff);
     }
     if (spec.filter_refresh) {
         cfg.refresh_blackout = true;
-        const auto &timing = system.controller(0).config().dram.timing;
         cfg.refi = timing.tREFI;
         cfg.blackout_post = timing.tRFC + 300'000;
     }
@@ -170,14 +199,28 @@ channelConfig(sys::System &system, const ChannelRunSpec &spec)
 } // namespace
 
 attack::ChannelResult
-runChannel(const ChannelRunSpec &spec)
+runChannelOn(sys::System &system, const ChannelRunSpec &spec)
 {
-    const sys::SystemConfig sys_cfg = channelSystemConfig(spec);
-    sys::System system(sys_cfg);
-
+    // The caller owns the system; it must be the one the spec
+    // describes, or the returned rows are labeled with topology /
+    // defense parameters that were never simulated — a wrong mapping
+    // preset or defense override trips no downstream assert, since
+    // the classifier and calibration derive from the live system.
+    const sys::SystemConfig want = channelSystemConfig(spec);
+    const sys::SystemConfig &have = system.config();
+    LEAKY_ASSERT(have.channels == want.channels &&
+                     have.mapping == want.mapping &&
+                     have.defense == want.defense &&
+                     have.ctrl.deterministic_refresh ==
+                         want.ctrl.deterministic_refresh,
+                 "system config does not match the channel spec");
     attack::CovertConfig cfg = channelConfig(system, spec);
-    if (spec.levels > 2)
-        cfg.count_cuts = attack::calibrateCuts(sys_cfg, cfg);
+    if (spec.levels > 2) {
+        // Calibrate on the LIVE system's config, not the spec-implied
+        // one: a caller-owned system with, say, tweaked DRAM timing
+        // would otherwise train cut points on the wrong machine.
+        cfg.count_cuts = attack::calibrateCuts(system.config(), cfg);
+    }
 
     // Noise microbenchmark targeting the covert channel's bank (§6.3).
     std::unique_ptr<attack::NoiseAgent> noise;
@@ -185,8 +228,8 @@ runChannel(const ChannelRunSpec &spec)
         attack::NoiseConfig noise_cfg;
         // Six rows: more counters than one back-off recovery can reset,
         // so noise-side counters survive preventive actions.
-        noise_cfg.addrs = attack::rowsInBank(system.mapper(), 0, 0, 0, 0,
-                                             3000, 6, 512);
+        noise_cfg.addrs = attack::rowsInBank(
+            system.mapper(), spec.sender_channel, 0, 0, 0, 3000, 6, 512);
         noise_cfg.sleep = spec.noise_sleep;
         noise = std::make_unique<attack::NoiseAgent>(system, noise_cfg);
         noise->start();
@@ -198,6 +241,13 @@ runChannel(const ChannelRunSpec &spec)
         spec.pattern, spec.message_bytes * 8);
     const auto symbols = attack::symbolsFromBits(bits, spec.levels);
     return attack::runCovertChannel(system, cfg, symbols);
+}
+
+attack::ChannelResult
+runChannel(const ChannelRunSpec &spec)
+{
+    sys::System system(channelSystemConfig(spec));
+    return runChannelOn(system, spec);
 }
 
 PatternSweepResult
@@ -289,10 +339,14 @@ collectOneFingerprint(const FingerprintSpec &spec, std::uint32_t site,
     }
 
     // The attacker's probe, placed away from the browser's rows;
-    // back-offs are channel-wide so colocation is unnecessary (§8).
+    // back-offs are channel-wide so colocation within the victim's
+    // CHANNEL suffices (§8) — the channel is explicit here because a
+    // probe on any other channel would observe nothing.
     attack::FingerprintConfig probe_cfg;
+    probe_cfg.channel = 0;
     probe_cfg.rows = attack::rowsInBank(
-        system.mapper(), 0, system.mapper().org().ranks - 1,
+        system.mapper(), probe_cfg.channel,
+        system.mapper().org().ranks - 1,
         system.mapper().org().bankgroups - 1,
         system.mapper().org().banks_per_group - 1, 500, 8, 64);
     probe_cfg.t_accesses = nbo > 1 ? nbo - 1 : 1;
@@ -349,14 +403,16 @@ runCounterLeakTrial(std::uint32_t secret)
     sys::SystemConfig cfg = pracAttackSystem();
     sys::System system(cfg);
 
-    const auto shared =
-        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 1000);
-    const auto victim_conflict =
-        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 2000);
-    const auto attacker_conflict =
-        attack::rowAddress(system.mapper(), 0, 0, 0, 0, 3000);
-
     attack::CounterLeakConfig leak_cfg;
+    leak_cfg.channel = 0; // Single-channel system; keep it explicit.
+    const auto shared = attack::rowAddress(system.mapper(),
+                                           leak_cfg.channel, 0, 0, 0,
+                                           1000);
+    const auto victim_conflict = attack::rowAddress(
+        system.mapper(), leak_cfg.channel, 0, 0, 0, 2000);
+    const auto attacker_conflict = attack::rowAddress(
+        system.mapper(), leak_cfg.channel, 0, 0, 0, 3000);
+
     leak_cfg.shared_addr = shared;
     leak_cfg.conflict_addr = attacker_conflict;
     leak_cfg.nbo = 128;
@@ -400,14 +456,12 @@ runCountermeasureCell(const CountermeasureCellSpec &spec)
     attack::CovertConfig cfg =
         attack::makeChannelConfig(system, ChannelKind::kPrac);
     if (spec.cross_bank) {
-        // Receiver in a different bank group/bank than the sender; the
-        // sender self-conflicts between two of its own rows and needs
-        // a longer window to charge the counters alone.
-        cfg.sender_addr2 =
-            attack::rowAddress(system.mapper(), 0, 0, 0, 0, 1064);
+        // Receiver in a different bank group/bank than the sender
+        // (Bank-Level PRAC's scope reduction).
         cfg.receiver_addr =
             attack::rowAddress(system.mapper(), 0, 0, 4, 2, 2000);
-        cfg.window = 50 * sim::kUs;
+        selfConflictSender(cfg, system.mapper(), 0,
+                           ChannelKind::kPrac);
     }
 
     std::unique_ptr<attack::NoiseAgent> noise;
@@ -464,19 +518,136 @@ runGranularityCell(ChannelKind kind, int bankgroup, int bank,
     if (bankgroup >= 0) {
         // Non-colocated receiver: the sender must self-conflict, and
         // charging the counters alone takes ~2x as long per bit.
-        cfg.sender_addr2 =
-            attack::rowAddress(system.mapper(), 0, 0, 0, 0, 1064);
         cfg.receiver_addr = attack::rowAddress(
             system.mapper(), 0, 0,
             static_cast<std::uint32_t>(bankgroup),
             static_cast<std::uint32_t>(bank), 2000);
-        if (kind == ChannelKind::kPrac)
-            cfg.window = 50 * sim::kUs;
+        selfConflictSender(cfg, system.mapper(), 0, kind);
     }
     const auto bits = attack::patternBits(
         attack::MessagePattern::kCheckered1, message_bytes * 8);
     return attack::runCovertChannel(
         system, cfg, attack::symbolsFromBits(bits, 2));
+}
+
+// ------------------------- multi-channel scaling + mapping diversity
+
+CrossChannelResult
+runCrossChannelCell(const CrossChannelSpec &spec)
+{
+    LEAKY_ASSERT(spec.channels >= (spec.cross ? 2u : 1u),
+                 "cross-channel cell needs a second channel");
+    ChannelRunSpec run;
+    run.kind = ChannelKind::kPrac;
+    run.channels = spec.channels;
+    run.sender_channel = 0;
+    run.receiver_channel = spec.cross ? 1 : 0;
+    run.pattern = spec.pattern;
+    run.message_bytes = spec.message_bytes;
+    run.seed = spec.seed;
+
+    sys::System system(channelSystemConfig(run));
+    CrossChannelResult out;
+    out.channel = runChannelOn(system, run);
+    out.tx_actions =
+        system.stats(run.sender_channel).preventiveActions();
+    out.rx_actions =
+        system.stats(run.receiver_channel).preventiveActions();
+    out.aggregate_actions = system.aggregateStats().preventiveActions();
+    return out;
+}
+
+MultiChannelResult
+runMultiChannelAggregate(const MultiChannelSpec &spec)
+{
+    LEAKY_ASSERT(spec.channels >= 1, "need at least one channel");
+    ChannelRunSpec base;
+    base.kind = ChannelKind::kPrac;
+    base.channels = spec.channels;
+    base.seed = spec.seed;
+    sys::System system(channelSystemConfig(base));
+
+    // One independent sender/receiver pair per channel, transmitting
+    // the same payload concurrently. Per-channel defense instances
+    // mean the pairs never contend for counter state — only the event
+    // queue is shared.
+    const auto bits =
+        attack::patternBits(spec.pattern, spec.message_bytes * 8);
+    const auto symbols = attack::symbolsFromBits(bits, 2);
+    std::vector<std::unique_ptr<attack::CovertSender>> senders;
+    std::vector<std::unique_ptr<attack::CovertReceiver>> receivers;
+    std::uint32_t done_count = 0;
+    Tick window = 0; // Same kind/levels on every channel ⇒ one window.
+    for (std::uint32_t ch = 0; ch < spec.channels; ++ch) {
+        attack::CovertConfig cfg = attack::makeChannelConfig(
+            system, ChannelKind::kPrac, 2, ch);
+        cfg.sender_source = 200 + static_cast<std::int32_t>(2 * ch);
+        cfg.receiver_source = 201 + static_cast<std::int32_t>(2 * ch);
+        window = cfg.window;
+        senders.push_back(
+            std::make_unique<attack::CovertSender>(system, cfg));
+        receivers.push_back(
+            std::make_unique<attack::CovertReceiver>(system, cfg));
+    }
+    const Tick epoch = system.now() + 2 * sim::kUs;
+    for (std::uint32_t ch = 0; ch < spec.channels; ++ch) {
+        senders[ch]->transmit(symbols, epoch);
+        receivers[ch]->listen(symbols.size(), epoch,
+                              [&done_count] { done_count += 1; });
+    }
+    const Tick deadline =
+        epoch + (symbols.size() + 2) * window + 10 * sim::kUs;
+    while (done_count < spec.channels && system.now() < deadline)
+        system.run(window);
+    LEAKY_ASSERT(done_count == spec.channels,
+                 "%u of %u receivers finished before the deadline",
+                 done_count, spec.channels);
+
+    MultiChannelResult out;
+    for (std::uint32_t ch = 0; ch < spec.channels; ++ch) {
+        attack::ChannelResult r = attack::collectChannelResult(
+            window, 2, symbols, receivers[ch]->decoded(),
+            system.stats(ch));
+        out.aggregate_raw_bit_rate += r.raw_bit_rate;
+        out.aggregate_capacity += r.capacity;
+        out.mean_symbol_error +=
+            r.symbol_error / static_cast<double>(spec.channels);
+        out.per_channel.push_back(std::move(r));
+    }
+    out.aggregate_actions = system.aggregateStats().preventiveActions();
+    return out;
+}
+
+attack::ChannelResult
+runMappingOrderCell(dram::MappingPreset actual,
+                    dram::MappingPreset assumed,
+                    std::size_t message_bytes, std::uint64_t seed)
+{
+    ChannelRunSpec spec;
+    spec.kind = ChannelKind::kPrac;
+    spec.mapping = actual;
+    spec.message_bytes = message_bytes;
+    spec.seed = seed;
+    const sys::SystemConfig sys_cfg = channelSystemConfig(spec);
+    sys::System system(sys_cfg);
+
+    attack::CovertConfig cfg = channelConfig(system, spec);
+    // The attacker massages its pages through the mapping it reverse
+    // engineered (§5.2) — compose through the ASSUMED order, decode
+    // through the actual one. A non-trivial bank coordinate (bg 2,
+    // bank 1) keeps the two orders distinguishable: at all-zero low
+    // fields every preset degenerates to the same line index.
+    const dram::AddressMapper assumed_mapper(sys_cfg.ctrl.dram.org,
+                                             sys_cfg.channels, assumed);
+    cfg.sender_addr =
+        attack::rowAddress(assumed_mapper, 0, 0, 2, 1, 1000);
+    cfg.receiver_addr =
+        attack::rowAddress(assumed_mapper, 0, 0, 2, 1, 2000);
+
+    const auto bits = attack::patternBits(
+        attack::MessagePattern::kCheckered0, message_bytes * 8);
+    return attack::runCovertChannel(system, cfg,
+                                    attack::symbolsFromBits(bits, 2));
 }
 
 // --------------------------------------- tracker family (cross-defense)

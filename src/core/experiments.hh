@@ -63,6 +63,16 @@ LatencyTraceResult runLatencyTrace(std::uint32_t iterations = 512,
 struct ChannelRunSpec {
     attack::ChannelKind kind = attack::ChannelKind::kPrac;
     std::uint32_t levels = 2;
+    /** Memory-channel topology: system channel count, the channels
+     *  the two endpoints target, and the physical-address mapping.
+     *  receiver_channel != sender_channel is the cross-channel
+     *  isolation scenario: the sender then alternates two of its own
+     *  rows (self-conflict) and PRAC runs a longer window, exactly as
+     *  in the non-colocated §9.1 variants. */
+    std::uint32_t channels = 1;
+    std::uint32_t sender_channel = 0;
+    std::uint32_t receiver_channel = 0;
+    dram::MappingPreset mapping = dram::MappingPreset::kRowInterleaved;
     std::size_t message_bytes = 100;
     attack::MessagePattern pattern = attack::MessagePattern::kCheckered0;
     /** Noise microbenchmark sleep (0 = no noise agent). */
@@ -92,6 +102,16 @@ struct ChannelRunSpec {
 
 /** A run plus its Eq.-1 metrics. */
 attack::ChannelResult runChannel(const ChannelRunSpec &spec);
+
+/** As runChannel, but on a caller-owned @p system (whose config must
+ *  match spec's topology) so the caller can inspect per-channel stats
+ *  views after the transmission. */
+attack::ChannelResult runChannelOn(sys::System &system,
+                                   const ChannelRunSpec &spec);
+
+/** System configuration a ChannelRunSpec implies (topology, defense
+ *  overrides, mapping preset) — what runChannel builds internally. */
+sys::SystemConfig channelSystemConfig(const ChannelRunSpec &spec);
 
 /** Average metrics over the four message patterns (§6.3, §7.3). */
 struct PatternSweepResult {
@@ -211,6 +231,59 @@ attack::ChannelResult runTrackerThresholdCell(defense::DefenseKind kind,
                                               std::uint32_t cc_entries,
                                               std::size_t message_bytes,
                                               std::uint64_t seed);
+
+// ------------------------- multi-channel scaling + mapping diversity
+
+/** One cross-channel isolation cell (§5.2 threat-model negative
+ *  control): the sender hammers channel 0; the receiver either
+ *  colocates (the ordinary channel) or listens on channel 1, where the
+ *  independent defense instance never fires for the sender's rows. */
+struct CrossChannelSpec {
+    std::uint32_t channels = 2;
+    bool cross = true; ///< Receiver on channel 1 (false = colocated).
+    attack::MessagePattern pattern = attack::MessagePattern::kCheckered0;
+    std::size_t message_bytes = 4;
+    std::uint64_t seed = 1;
+};
+
+struct CrossChannelResult {
+    /** Eq.-1 metrics + the RECEIVER channel's ground truth. */
+    attack::ChannelResult channel;
+    std::uint64_t tx_actions = 0; ///< Preventive actions, sender channel.
+    std::uint64_t rx_actions = 0; ///< Preventive actions, receiver channel.
+    std::uint64_t aggregate_actions = 0; ///< Summed over all channels.
+};
+
+CrossChannelResult runCrossChannelCell(const CrossChannelSpec &spec);
+
+/** One aggregate-scaling cell: an independent sender/receiver pair on
+ *  EVERY channel, transmitting concurrently in one system. */
+struct MultiChannelSpec {
+    std::uint32_t channels = 1;
+    attack::MessagePattern pattern = attack::MessagePattern::kCheckered0;
+    std::size_t message_bytes = 4;
+    std::uint64_t seed = 1;
+};
+
+struct MultiChannelResult {
+    std::vector<attack::ChannelResult> per_channel;
+    double aggregate_raw_bit_rate = 0.0; ///< Sum over channels.
+    double aggregate_capacity = 0.0;     ///< Sum over channels.
+    double mean_symbol_error = 0.0;
+    std::uint64_t aggregate_actions = 0; ///< aggregateStats() view.
+};
+
+MultiChannelResult runMultiChannelAggregate(const MultiChannelSpec &spec);
+
+/** One mapping-diversity cell: the system decodes through @p actual
+ *  while the attacker composes its rows through @p assumed — the
+ *  partially-wrong reverse-engineered mapping of §5.2. Equal presets
+ *  reproduce the baseline PRAC channel; a mismatch scatters the
+ *  attacker's "same-bank" pair and the channel collapses. */
+attack::ChannelResult runMappingOrderCell(dram::MappingPreset actual,
+                                          dram::MappingPreset assumed,
+                                          std::size_t message_bytes,
+                                          std::uint64_t seed);
 
 // ------------------------------------------------------------- Fig. 13
 

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <tuple>
 
 #include "ctrl/defense_iface.hh"
 #include "defense/policy.hh"
@@ -60,7 +61,32 @@ struct DefenseSpec {
     /** Warm-start PRAC counters (performance studies; see prac.hh). */
     bool warm_counters = false;
     std::uint64_t seed = 1;
+
+    /** All fields as one tuple — THE canonical field list; a new knob
+     *  must be added here too (spec-match guards compare via this). */
+    auto
+    tied() const
+    {
+        return std::tie(kind, nrh, nbo_override, trfm_override,
+                        rfms_per_backoff, backoff_rfm_latency,
+                        aboact_override, fr_rfm_period_override,
+                        para_probability, tracker_threshold_override,
+                        hydra_cc_entries, warm_counters, seed);
+    }
+
+    bool
+    operator==(const DefenseSpec &o) const
+    {
+        return tied() == o.tied();
+    }
 };
+
+/** Field-drift guard (same pattern as CtrlStats): adding a knob
+ *  changes the size and fails this assert until tied() visits the
+ *  field. 80 = the LP64 layout of the 13 fields above + padding. */
+static_assert(sizeof(DefenseSpec) == 80,
+              "update DefenseSpec::tied() for the new field, then "
+              "adjust this size guard");
 
 /** Constructed defense objects plus controller config adjustments. */
 struct DefenseBundle {

@@ -4,11 +4,47 @@
 
 namespace leaky::dram {
 
+std::array<Field, kNumFields>
+presetOrder(MappingPreset preset)
+{
+    switch (preset) {
+      case MappingPreset::kRowInterleaved:
+        return {Field::kColumn, Field::kBankGroup, Field::kBank,
+                Field::kRank, Field::kRow, Field::kChannel};
+      case MappingPreset::kBankFirst:
+        return {Field::kBankGroup, Field::kBank, Field::kRank,
+                Field::kColumn, Field::kRow, Field::kChannel};
+      case MappingPreset::kChannelLast:
+        return {Field::kColumn, Field::kRow, Field::kBankGroup,
+                Field::kBank, Field::kRank, Field::kChannel};
+    }
+    sim::panic("unknown mapping preset");
+}
+
+const char *
+presetName(MappingPreset preset)
+{
+    switch (preset) {
+      case MappingPreset::kRowInterleaved: return "row-interleaved";
+      case MappingPreset::kBankFirst: return "bank-first";
+      case MappingPreset::kChannelLast: return "channel-last";
+    }
+    sim::panic("unknown mapping preset");
+}
+
 AddressMapper::AddressMapper(const Organization &org, std::uint32_t channels,
-                             std::array<Field, 6> order)
+                             std::array<Field, kNumFields> order)
     : org_(org), channels_(channels), order_(order)
 {
     LEAKY_ASSERT(channels_ > 0, "need at least one channel");
+    // A custom order must be a permutation of all six fields; a
+    // duplicate (and the matching omission) would alias two coordinate
+    // fields onto the same digits and break round trips silently.
+    std::uint32_t seen = 0;
+    for (Field f : order_)
+        seen |= 1u << static_cast<unsigned>(f);
+    LEAKY_ASSERT(seen == (1u << kNumFields) - 1,
+                 "mapper order is not a permutation of all fields");
     std::uint64_t lines = 1;
     for (std::size_t i = 0; i < order_.size(); ++i) {
         sizes_[i] = fieldSize(order_[i]);

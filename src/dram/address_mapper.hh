@@ -24,6 +24,42 @@ enum class Field : std::uint8_t {
     kColumn, kBankGroup, kBank, kRank, kRow, kChannel
 };
 
+/** Number of orderable fields (the size of a full order array). */
+inline constexpr std::size_t kNumFields = 6;
+
+/**
+ * Named physical-to-DRAM mapping presets (the reverse-engineering
+ * targets of §5.2). Each expands to a full field order, least to most
+ * significant; the presets only differ in observable behaviour when
+ * traffic is generated in *physical* addresses — attacks that compose
+ * coordinates through the system's own mapper are order-invariant by
+ * construction, which is exactly what the `mapping-order` figure
+ * exploits to model attackers with a *wrong* mapping assumption.
+ */
+enum class MappingPreset : std::uint8_t {
+    /** column, bankgroup, bank, rank, row, channel — the default:
+     *  consecutive lines walk a row, then interleave bank groups. */
+    kRowInterleaved,
+    /** bankgroup, bank, rank, column, row, channel — bank bits at the
+     *  LSB end, so consecutive lines stripe across banks first. */
+    kBankFirst,
+    /** column, row, bankgroup, bank, rank, channel — channel stays the
+     *  most-significant field but each bank's rows are physically
+     *  contiguous below it (no bank interleaving). */
+    kChannelLast,
+};
+
+/** All presets, for sweeps and tests. */
+inline constexpr MappingPreset kAllMappingPresets[] = {
+    MappingPreset::kRowInterleaved, MappingPreset::kBankFirst,
+    MappingPreset::kChannelLast};
+
+/** Field order of a preset (least to most significant). */
+std::array<Field, kNumFields> presetOrder(MappingPreset preset);
+
+/** Stable CLI/CSV name of a preset ("row-interleaved", ...). */
+const char *presetName(MappingPreset preset);
+
 /** Maps 64-bit physical addresses to DRAM coordinates and back. */
 class AddressMapper
 {
@@ -34,11 +70,21 @@ class AddressMapper
      * @param org Channel geometry.
      * @param channels Number of channels in the system.
      * @param order Field order from least to most significant bits.
+     *        Must be a permutation of all six Fields (asserted): a
+     *        duplicated or missing field would silently corrupt
+     *        decode/compose round trips.
      */
     AddressMapper(const Organization &org, std::uint32_t channels = 1,
-                  std::array<Field, 6> order = {
+                  std::array<Field, kNumFields> order = {
                       Field::kColumn, Field::kBankGroup, Field::kBank,
                       Field::kRank, Field::kRow, Field::kChannel});
+
+    /** Preset-order convenience constructor. */
+    AddressMapper(const Organization &org, std::uint32_t channels,
+                  MappingPreset preset)
+        : AddressMapper(org, channels, presetOrder(preset))
+    {
+    }
 
     /** Decode a physical byte address into DRAM coordinates. */
     Address decode(std::uint64_t phys_addr) const;
@@ -59,8 +105,9 @@ class AddressMapper
 
     Organization org_;
     std::uint32_t channels_;
-    std::array<Field, 6> order_;
-    std::array<std::uint32_t, 6> sizes_{}; ///< fieldSize per order_ slot.
+    std::array<Field, kNumFields> order_;
+    /** fieldSize per order_ slot. */
+    std::array<std::uint32_t, kNumFields> sizes_{};
     std::uint64_t capacity_;
 };
 

@@ -78,7 +78,7 @@ runQuickstartDemo()
         std::printf("  %-18s %5llu\n", names[c],
                     static_cast<unsigned long long>(by_class[c]));
 
-    const auto &stats = system.controller(0).stats();
+    const auto &stats = system.stats(0);
     std::printf("\nGround truth from the controller:\n");
     std::printf("  back-offs: %llu, refreshes: %llu, reads: %llu\n",
                 static_cast<unsigned long long>(stats.backoffs),

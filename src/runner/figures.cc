@@ -55,7 +55,8 @@ figures()
     static const std::vector<Figure> registry = [] {
         std::vector<Figure> all;
         for (auto family_of : {covertFigures, fingerprintFigures,
-                               countermeasureFigures, trackerFigures}) {
+                               countermeasureFigures, trackerFigures,
+                               scalingFigures}) {
             auto family = family_of();
             all.insert(all.end(),
                        std::make_move_iterator(family.begin()),

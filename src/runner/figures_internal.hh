@@ -48,6 +48,7 @@ std::vector<Figure> covertFigures();         ///< Figs. 2-8, 11-12, §6.3.
 std::vector<Figure> fingerprintFigures();    ///< Figs. 9-10, T2, §10.3.
 std::vector<Figure> countermeasureFigures(); ///< Fig. 13, §9/11/12, T3.
 std::vector<Figure> trackerFigures();        ///< §13 generalisation.
+std::vector<Figure> scalingFigures();        ///< §5.2 topology/mapping.
 
 } // namespace leaky::runner
 

@@ -59,15 +59,7 @@ expandJobs(const SweepSpec &spec)
 std::uint64_t
 jobSeed(std::uint64_t base, std::size_t index)
 {
-    // splitmix64 over the combined pair: one step to mix the base, a
-    // second keyed on the index, so neighbouring indices (and
-    // neighbouring bases) land far apart.
-    std::uint64_t x = base + 0x9E3779B97F4A7C15ULL *
-                                 (static_cast<std::uint64_t>(index) + 1);
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-    x ^= x >> 31;
-    return x == 0 ? 1 : x; // Components treat 0 as "unseeded".
+    return sim::seedFanout(base, index);
 }
 
 SweepSpec

@@ -16,6 +16,25 @@
 
 namespace leaky::sim {
 
+/**
+ * Seed fan-out: a statistically independent seed per (base, index)
+ * pair, stable across runs and thread schedules. One splitmix64-style
+ * finalisation over the combined pair, so neighbouring indices AND
+ * neighbouring bases land far apart — an additive `base + index`
+ * stream would collide across adjacent sweep jobs (job N, index 1 ==
+ * job N+1, index 0). Shared by the sweep runner's per-job seeds and
+ * sys::System's per-channel defense seeds.
+ */
+inline std::uint64_t
+seedFanout(std::uint64_t base, std::uint64_t index)
+{
+    std::uint64_t x = base + 0x9E3779B97F4A7C15ULL * (index + 1);
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x == 0 ? 1 : x; // Components treat 0 as "unseeded".
+}
+
 /** xoshiro256** generator with a splitmix64-seeded state. */
 class Rng
 {

@@ -1,6 +1,7 @@
 #include "sys/system.hh"
 
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace leaky::sys {
 
@@ -15,7 +16,7 @@ SystemConfig::paper(defense::DefenseKind kind, std::uint32_t nrh)
 }
 
 System::System(const SystemConfig &cfg)
-    : cfg_(cfg), mapper_(cfg.ctrl.dram.org, cfg.channels)
+    : cfg_(cfg), mapper_(cfg.ctrl.dram.org, cfg.channels, cfg.mapping)
 {
     for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) {
         // The controller config may be adjusted by the defense choice,
@@ -34,7 +35,10 @@ System::System(const SystemConfig &cfg)
         auto controller = std::make_unique<ctrl::MemoryController>(
             eq_, ctrl_cfg, ch);
         defense::DefenseSpec spec = cfg_.defense;
-        spec.seed = cfg_.defense.seed + ch;
+        // Independent per-channel seed streams: an additive base + ch
+        // collides across neighbouring sweep jobs (job N, ch 1 == job
+        // N+1, ch 0), correlating defenses that must be independent.
+        spec.seed = sim::seedFanout(cfg_.defense.seed, ch);
         auto bundle = defense::makeDefense(spec, ctrl_cfg.dram,
                                            ctrl_cfg.drain_lead,
                                            controller.get());
@@ -52,6 +56,22 @@ System::controller(std::uint32_t ch)
 {
     LEAKY_ASSERT(ch < ctrls_.size(), "channel %u out of range", ch);
     return *ctrls_[ch];
+}
+
+const ctrl::CtrlStats &
+System::stats(std::uint32_t ch) const
+{
+    LEAKY_ASSERT(ch < ctrls_.size(), "channel %u out of range", ch);
+    return ctrls_[ch]->stats();
+}
+
+ctrl::CtrlStats
+System::aggregateStats() const
+{
+    ctrl::CtrlStats sum;
+    for (const auto &controller : ctrls_)
+        sum += controller->stats();
+    return sum;
 }
 
 const defense::DefenseBundle &

@@ -23,15 +23,25 @@ namespace leaky::sys {
 /** Whole-system configuration. */
 struct SystemConfig {
     std::uint32_t channels = 1;
+    /** Physical-to-DRAM field order (§5.2 mapping diversity). The
+     *  mapped address space spans `channels` x the per-channel
+     *  capacity regardless of the order chosen. */
+    dram::MappingPreset mapping = dram::MappingPreset::kRowInterleaved;
     ctrl::CtrlConfig ctrl;          ///< Per-channel controller + DRAM.
-    defense::DefenseSpec defense;   ///< Applied to every channel.
+    /** Applied to every channel: each channel gets its OWN defense
+     *  instance, seeded independently (splitmix64 fan-out of
+     *  defense.seed), so preventive actions never cross channels. */
+    defense::DefenseSpec defense;
     /** Core/agent <-> controller latency each way (interconnect plus
      *  cache-miss handling outside the pure cache lookup). */
     Tick frontend_latency = 10'000;
     /** Delay before retrying a request rejected by a full queue. */
     Tick retry_interval = 20'000;
 
-    /** Paper Table 1 system with the given defense. */
+    /** Paper Table 1 system with the given defense. Table 1 lists one
+     *  channel; raising `channels` replicates the per-channel geometry
+     *  (and the defense) N times, growing the mapper-visible address
+     *  space N-fold — it never resizes the per-channel organisation. */
     static SystemConfig paper(defense::DefenseKind kind,
                               std::uint32_t nrh = 160);
 };
@@ -47,6 +57,17 @@ class System final : public MemoryPort
 
     ctrl::MemoryController &controller(std::uint32_t ch = 0);
     const defense::DefenseBundle &defenseBundle(std::uint32_t ch = 0) const;
+
+    std::uint32_t channels() const { return cfg_.channels; }
+
+    /** Channel-scoped stats view: the live counters of channel @p ch's
+     *  controller (asserts the channel exists). Attack result
+     *  collection goes through here with an EXPLICIT channel — never
+     *  through an implicit controller(0). */
+    const ctrl::CtrlStats &stats(std::uint32_t ch) const;
+
+    /** Aggregate view: field-wise sum of every channel's stats. */
+    ctrl::CtrlStats aggregateStats() const;
 
     /** Observe preventive actions on a channel (ground truth). */
     void setPreventiveListener(std::uint32_t ch,

@@ -73,6 +73,86 @@ TEST(AddressMapperDeath, ComposeRejectsOutOfRangeFields)
     EXPECT_DEATH(mapper.compose(addr), "out of range");
 }
 
+TEST(AddressMapperDeath, RejectsNonPermutationOrders)
+{
+    Organization org;
+    // kRow duplicated, kColumn missing: before validation this built a
+    // mapper whose decode/compose round trips silently corrupted.
+    EXPECT_DEATH(AddressMapper(org, 1,
+                               {Field::kRow, Field::kBankGroup,
+                                Field::kBank, Field::kRank, Field::kRow,
+                                Field::kChannel}),
+                 "permutation");
+}
+
+TEST(AddressMapper, PresetOrdersArePermutations)
+{
+    Organization org;
+    for (auto preset : leaky::dram::kAllMappingPresets) {
+        // Construction validates the order; capacity is preset-
+        // independent (a permutation never changes the field product).
+        AddressMapper mapper(org, 4, preset);
+        AddressMapper reference(org, 4);
+        EXPECT_EQ(mapper.capacityBytes(), reference.capacityBytes())
+            << leaky::dram::presetName(preset);
+    }
+}
+
+TEST(AddressMapper, PresetNamesAreStable)
+{
+    using leaky::dram::MappingPreset;
+    using leaky::dram::presetName;
+    EXPECT_STREQ(presetName(MappingPreset::kRowInterleaved),
+                 "row-interleaved");
+    EXPECT_STREQ(presetName(MappingPreset::kBankFirst), "bank-first");
+    EXPECT_STREQ(presetName(MappingPreset::kChannelLast),
+                 "channel-last");
+}
+
+TEST(AddressMapper, BankFirstStripesConsecutiveLinesAcrossBanks)
+{
+    Organization org;
+    AddressMapper mapper(org, 1,
+                         leaky::dram::MappingPreset::kBankFirst);
+    const auto a0 = mapper.decode(0);
+    const auto a1 = mapper.decode(64);
+    EXPECT_FALSE(a0.sameBank(a1)); // Bank fields at the LSB end.
+    EXPECT_EQ(a0.column, a1.column);
+}
+
+/** Property: every preset round-trips random coordinates at any
+ *  channel count. */
+TEST(AddressMapper, PresetsRoundTripRandomCoordinates)
+{
+    Organization org;
+    for (auto preset : leaky::dram::kAllMappingPresets) {
+        for (std::uint32_t channels : {1u, 2u, 4u}) {
+            AddressMapper mapper(org, channels, preset);
+            leaky::sim::Rng rng(channels * 7 +
+                                static_cast<std::uint32_t>(preset));
+            for (int i = 0; i < 200; ++i) {
+                Address addr;
+                addr.channel =
+                    static_cast<std::uint32_t>(rng.below(channels));
+                addr.rank =
+                    static_cast<std::uint32_t>(rng.below(org.ranks));
+                addr.bankgroup = static_cast<std::uint32_t>(
+                    rng.below(org.bankgroups));
+                addr.bank = static_cast<std::uint32_t>(
+                    rng.below(org.banks_per_group));
+                addr.row =
+                    static_cast<std::uint32_t>(rng.below(org.rows));
+                addr.column =
+                    static_cast<std::uint32_t>(rng.below(org.columns));
+                const auto back = mapper.decode(mapper.compose(addr));
+                EXPECT_TRUE(back.sameRow(addr));
+                EXPECT_EQ(back.column, addr.column);
+                EXPECT_EQ(back.channel, addr.channel);
+            }
+        }
+    }
+}
+
 /** Property: decode(compose(x)) == x for random x under any channel
  *  count. */
 class MapperRoundTrip : public ::testing::TestWithParam<std::uint32_t>

@@ -67,7 +67,8 @@ TEST(FigureRegistry, ExposesTheFullCatalogue)
           "fingerprint-cv", "cache-prefetch", "threshold",
           "mitigation", "countermeasures", "counter-leak",
           "granularity", "trigger", "cross-defense",
-          "tracker-threshold"}) {
+          "tracker-threshold", "cross-channel", "channel-scaling",
+          "mapping-order"}) {
         EXPECT_NE(runner::findFigure(name), nullptr) << name;
     }
     EXPECT_EQ(runner::findFigure("nope"), nullptr);

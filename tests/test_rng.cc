@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/rng.hh"
 
 namespace {
@@ -103,5 +105,25 @@ TEST_P(RngCoverage, CoversAllValues)
 
 INSTANTIATE_TEST_SUITE_P(SmallBounds, RngCoverage,
                          ::testing::Values(2, 3, 5, 8, 13, 32));
+
+// The shared seed fan-out must not collide across neighbouring
+// (base, index) pairs: an additive `base + index` stream makes
+// (base, 1) == (base + 1, 0), correlating sweep-neighbour systems'
+// per-channel defenses.
+TEST(SeedFanout, NeighbouringBasesAndIndicesAreIndependent)
+{
+    using leaky::sim::seedFanout;
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t base = 1; base <= 8; ++base)
+        for (std::uint64_t ch = 0; ch < 8; ++ch)
+            seeds.push_back(seedFanout(base, ch));
+    std::sort(seeds.begin(), seeds.end());
+    EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()),
+              seeds.end())
+        << "seed fan-out collided on neighbouring (base, index) pairs";
+    // Never the "unseeded" sentinel, and stable across calls.
+    EXPECT_NE(seedFanout(0, 0), 0u);
+    EXPECT_EQ(seedFanout(42, 3), seedFanout(42, 3));
+}
 
 } // namespace
