@@ -60,6 +60,14 @@ if [ "$BUILD_VARIANT" = default ]; then
     python3 tools/check_docs.py --names "$BUILD_DIR/figure_names.txt"
 fi
 
+# Campaign kill/resume smoke (default variant only -- the asan variant
+# already runs the same paths under the in-process death tests): crash
+# one shard via fault injection, resume, and require the merged CSV to
+# match `leakyhammer repro` byte for byte.
+if [ "$BUILD_VARIANT" = default ]; then
+    ci/smoke_campaign.sh "$BUILD_DIR/leakyhammer" "$BUILD_DIR/campaign-smoke"
+fi
+
 # Perf harness: run every benchmark to completion and guard against
 # regressions on the variant whose numbers are comparable to the
 # tracked baseline (Release, hot-path checks off). The other variants

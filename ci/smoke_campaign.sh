@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Campaign kill/resume smoke, shared by .github/workflows/ci.yml and
+# ci/run_ci.sh: run a 2-shard campaign of a small figure, kill shard 0
+# mid-run with the injected-crash fault plan (armed through the
+# LEAKY_CAMPAIGN_FAULT environment variable, the way an operator would
+# arm it against an unmodified binary), resume it, run the other
+# shard, and require the merged CSV to be byte-identical to the
+# uninterrupted `leakyhammer repro` output — the campaign layer's
+# determinism contract, end to end through the real CLI.
+#
+# usage: smoke_campaign.sh <leakyhammer-binary> <output-dir>
+#   CAMPAIGN_FIGURE   figure to campaign (default counter-leak, the
+#                     cheapest full-attack figure at --smoke)
+set -euo pipefail
+
+BIN="${1:?usage: smoke_campaign.sh <leakyhammer-binary> <output-dir>}"
+OUT="${2:?usage: smoke_campaign.sh <leakyhammer-binary> <output-dir>}"
+FIG="${CAMPAIGN_FIGURE:-counter-leak}"
+DIR="$OUT/campaign"
+
+rm -rf "$DIR" "$OUT/reference"
+mkdir -p "$OUT/reference"
+
+# The reference: one process, one thread, no faults.
+"$BIN" repro --fig "$FIG" --smoke --threads 1 \
+    --out "$OUT/reference" > /dev/null
+ref_csv=("$OUT"/reference/*.csv)
+if [ "${#ref_csv[@]}" -ne 1 ]; then
+    echo "error: expected exactly one reference CSV for $FIG, found" \
+         "${#ref_csv[@]}" >&2
+    exit 1
+fi
+
+# Shard 0 with a crash injected at its second job: the process must
+# die with the dedicated exit code, leaving a resumable checkpoint.
+rc=0
+LEAKY_CAMPAIGN_FAULT=crash@2 "$BIN" campaign --fig "$FIG" --smoke \
+    --dir "$DIR" --shards 2 --shard 0 --threads 1 || rc=$?
+if [ "$rc" -ne 42 ]; then
+    echo "error: expected injected-crash exit code 42, got $rc" >&2
+    exit 1
+fi
+
+# The checkpoint is readable and healthy (work missing, none failed).
+"$BIN" campaign --status "$DIR"
+
+# Resume shard 0, then run shard 1 as a separate process; the final
+# invocation sees the campaign complete and merges automatically.
+"$BIN" campaign --fig "$FIG" --smoke --dir "$DIR" --shards 2 \
+    --shard 0 --threads 1
+"$BIN" campaign --fig "$FIG" --smoke --dir "$DIR" --shards 2 \
+    --shard 1 --threads 1
+"$BIN" campaign --status "$DIR"
+
+cmp "$DIR/$(basename "${ref_csv[0]}")" "${ref_csv[0]}"
+echo "campaign kill/resume merge is byte-identical to the" \
+     "uninterrupted run"

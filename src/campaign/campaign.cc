@@ -1,0 +1,314 @@
+#include "campaign/campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <stdexcept>
+
+#include "runner/pool.hh"
+#include "runner/runner.hh"
+#include "sim/logging.hh"
+
+namespace leaky::campaign {
+
+namespace {
+
+// sig_atomic_t + lock-free flag: the only state a signal handler may
+// touch. Worker threads poll it between jobs.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop_requested = 1;
+}
+
+std::string
+renderRow(const std::vector<double> &row)
+{
+    std::string out;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c)
+            out += ',';
+        out += runner::csvCell(row[c]);
+    }
+    return out;
+}
+
+/** Shard body: the committed row lines of [range) in index order. */
+std::string
+shardCsvBody(const ManifestState &state, const ShardRange &range)
+{
+    std::string body;
+    for (std::size_t index = range.begin; index < range.end; ++index) {
+        const auto it = state.done.find(index);
+        LEAKY_ASSERT(it != state.done.end(),
+                     "shard CSV requested for an incomplete shard");
+        for (const auto &row : it->second) {
+            body += row;
+            body += '\n';
+        }
+    }
+    return body;
+}
+
+ManifestMeta
+loadMeta(const std::string &dir)
+{
+    return ManifestMeta::parse(readFileOrThrow(metaPath(dir)));
+}
+
+} // namespace
+
+ManifestMeta
+makeMeta(const runner::SweepSpec &spec, std::size_t shards,
+         const std::string &csv_name, const std::string &scale)
+{
+    ManifestMeta meta;
+    meta.figure = spec.name;
+    meta.csv_name = csv_name;
+    meta.scale = scale.empty() ? "default" : scale;
+    meta.seed = spec.base_seed;
+    meta.shards = shards;
+    meta.jobs = runner::jobCount(spec);
+    meta.columns = spec.columns;
+    return meta;
+}
+
+void
+openCampaign(const ManifestMeta &meta, const std::string &dir)
+{
+    LEAKY_ASSERT(meta.shards > 0, "campaign needs at least one shard");
+    std::filesystem::create_directories(dir);
+    const auto path = metaPath(dir);
+    if (std::filesystem::exists(path)) {
+        const auto existing = ManifestMeta::parse(readFileOrThrow(path));
+        if (existing != meta)
+            throw std::runtime_error(
+                "campaign directory " + dir +
+                " holds a different campaign (" + existing.describe() +
+                ") than requested (" + meta.describe() +
+                "); resume with the original flags or use a fresh "
+                "directory");
+        return;
+    }
+    runner::writeFile(path, meta.serialize());
+}
+
+ShardReport
+runShard(const runner::SweepSpec &spec, const ManifestMeta &meta,
+         const CampaignConfig &config, std::size_t shard)
+{
+    LEAKY_ASSERT(shard < meta.shards, "shard index out of range");
+    LEAKY_ASSERT(runner::jobCount(spec) == meta.jobs,
+                 "sweep spec expands to a different job count than the "
+                 "campaign meta");
+    LEAKY_ASSERT(spec.columns == meta.columns,
+                 "sweep spec columns differ from the campaign meta");
+
+    const auto range = shardRange(meta.jobs, meta.shards, shard);
+    const auto path = manifestPath(config.dir, shard);
+    const auto state = ManifestState::load(path);
+
+    // Resume = replay the manifest and run only what is missing.
+    // Previously *failed* jobs are missing too: a fault-injected or
+    // transient failure deserves a fresh bounded-retry budget.
+    std::vector<std::size_t> missing;
+    for (std::size_t index = range.begin; index < range.end; ++index)
+        if (!state.done.count(index))
+            missing.push_back(index);
+
+    ShardReport report;
+    report.shard = shard;
+    report.owned = range.size();
+    report.completed = range.size() - missing.size();
+
+    const auto jobs = runner::expandJobs(spec);
+    ManifestWriter writer(path, shard, meta.shards, range.begin,
+                          range.end);
+    FaultInjector fault(config.fault);
+    std::atomic<std::size_t> ran{0}, failed{0}, skipped{0};
+    const unsigned attempts_max = 1 + config.retries;
+
+    runner::SweepPool pool(config.threads);
+    // The per-job fn never throws: every failure path is caught,
+    // bounded-retried, and recorded — one poisoned job cannot abort
+    // the shard or discard its siblings' committed work.
+    pool.forEach(missing.size(), [&](std::size_t i) {
+        const auto index = missing[i];
+        if (stopRequested()) {
+            skipped.fetch_add(1);
+            return;
+        }
+        std::string last_error;
+        for (unsigned attempt = 1; attempt <= attempts_max; ++attempt) {
+            try {
+                const auto start = std::chrono::steady_clock::now();
+                fault.onJobStart();
+                const auto rows = spec.job(jobs[index]);
+                const double elapsed_ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                if (config.deadline_ms != 0 &&
+                    elapsed_ms > config.deadline_ms)
+                    throw std::runtime_error(
+                        "job exceeded the " +
+                        std::to_string(config.deadline_ms) +
+                        " ms deadline");
+                std::vector<std::string> lines;
+                lines.reserve(rows.size());
+                for (const auto &row : rows) {
+                    LEAKY_ASSERT(row.size() == spec.columns.size(),
+                                 "job row arity != sweep columns");
+                    lines.push_back(renderRow(row));
+                }
+                writer.jobDone(index, lines);
+                ran.fetch_add(1);
+                return;
+            } catch (const std::exception &e) {
+                last_error = e.what();
+            } catch (...) {
+                last_error = "unknown exception";
+            }
+        }
+        writer.jobFailed(index, attempts_max,
+                         runner::describeJobParams(jobs[index]) + ": " +
+                             last_error);
+        failed.fetch_add(1);
+    });
+
+    report.ran = ran.load();
+    report.failed = failed.load();
+    report.skipped = skipped.load();
+    report.completed += report.ran;
+    report.stopped = stopRequested();
+
+    // A cleanly finished shard leaves its CSV slice behind, atomically
+    // renamed so no reader ever sees a partial slice.
+    if (report.complete()) {
+        const auto final_state = ManifestState::load(path);
+        runner::writeFile(shardCsvPath(config.dir, shard),
+                          shardCsvBody(final_state, range));
+    }
+    return report;
+}
+
+CampaignStatus
+campaignStatus(const std::string &dir)
+{
+    CampaignStatus status;
+    status.meta = loadMeta(dir);
+    for (std::size_t shard = 0; shard < status.meta.shards; ++shard) {
+        const auto range =
+            shardRange(status.meta.jobs, status.meta.shards, shard);
+        const auto state =
+            ManifestState::load(manifestPath(dir, shard));
+        ShardStatus entry;
+        entry.shard = shard;
+        entry.owned = range.size();
+        for (std::size_t index = range.begin; index < range.end;
+             ++index) {
+            if (state.done.count(index)) {
+                ++entry.done;
+            } else if (const auto it = state.failed.find(index);
+                       it != state.failed.end()) {
+                ++entry.failed;
+                entry.failures.emplace(index, it->second);
+            } else {
+                ++entry.remaining;
+            }
+        }
+        status.done += entry.done;
+        status.failed += entry.failed;
+        status.remaining += entry.remaining;
+        status.shards.push_back(std::move(entry));
+    }
+    return status;
+}
+
+std::string
+mergedCsv(const std::string &dir)
+{
+    const auto meta = loadMeta(dir);
+    std::string out;
+    for (std::size_t c = 0; c < meta.columns.size(); ++c) {
+        if (c)
+            out += ',';
+        out += meta.columns[c];
+    }
+    out += '\n';
+    for (std::size_t shard = 0; shard < meta.shards; ++shard) {
+        const auto range = shardRange(meta.jobs, meta.shards, shard);
+        const auto state =
+            ManifestState::load(manifestPath(dir, shard));
+        for (std::size_t index = range.begin; index < range.end;
+             ++index) {
+            const auto it = state.done.find(index);
+            if (it == state.done.end())
+                throw std::runtime_error(
+                    "cannot merge campaign " + dir + ": job " +
+                    std::to_string(index) + " of shard " +
+                    std::to_string(shard) +
+                    " is not completed (resume the shard first)");
+            for (const auto &row : it->second) {
+                out += row;
+                out += '\n';
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+writeMergedCsv(const std::string &dir)
+{
+    const auto meta = loadMeta(dir);
+    // Regenerate any missing shard slices first (e.g. a shard that
+    // completed only via resume on another machine).
+    for (std::size_t shard = 0; shard < meta.shards; ++shard) {
+        const auto csv = shardCsvPath(dir, shard);
+        if (std::filesystem::exists(csv))
+            continue;
+        const auto range = shardRange(meta.jobs, meta.shards, shard);
+        const auto state =
+            ManifestState::load(manifestPath(dir, shard));
+        bool complete = true;
+        for (std::size_t index = range.begin;
+             complete && index < range.end; ++index)
+            complete = state.done.count(index) != 0;
+        if (complete)
+            runner::writeFile(csv, shardCsvBody(state, range));
+    }
+    const auto path = mergedCsvPath(dir, meta.csv_name);
+    runner::writeFile(path, mergedCsv(dir));
+    return path;
+}
+
+void
+installStopSignalHandlers()
+{
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+}
+
+void
+requestStop()
+{
+    g_stop_requested = 1;
+}
+
+bool
+stopRequested()
+{
+    return g_stop_requested != 0;
+}
+
+void
+clearStopRequest()
+{
+    g_stop_requested = 0;
+}
+
+} // namespace leaky::campaign

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fault-tolerant campaign driver: the layer that makes million-job
+ * studies (the fuzzer, the full registry × defenses × standards ×
+ * channels matrix) survivable. A campaign wraps one SweepSpec and
+ *
+ * - **shards** it by contiguous job-index range across processes
+ *   (per-job seeds are a splitmix64 fan-out of (base_seed, index), so
+ *   shard boundaries cannot change any result),
+ * - **checkpoints** every completed job through an append-only
+ *   manifest and **resumes** after a kill by replaying it and running
+ *   only the missing jobs,
+ * - **isolates faults**: a throwing job is retried a bounded number
+ *   of times (jobs are deterministic functions of their seed, so a
+ *   retry is a re-execution, not a gamble) and then recorded as
+ *   failed instead of poisoning the sweep; SIGINT/SIGTERM drain
+ *   gracefully — started jobs finish and commit, queued jobs stay
+ *   queued for the resume,
+ * - **merges** shard outputs into the final CSV with the runner's
+ *   determinism contract intact: for any shard count and any
+ *   kill/resume schedule, the merged file is byte-identical to the
+ *   single-process single-thread CSV.
+ */
+
+#ifndef LEAKY_CAMPAIGN_CAMPAIGN_HH
+#define LEAKY_CAMPAIGN_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/fault.hh"
+#include "campaign/manifest.hh"
+#include "campaign/shard.hh"
+#include "runner/sweep.hh"
+
+namespace leaky::campaign {
+
+/** How to run shards of a campaign. */
+struct CampaignConfig {
+    std::string dir;          ///< Campaign state directory.
+    unsigned threads = 0;     ///< Pool workers per shard (0 = hw).
+    unsigned retries = 2;     ///< Extra attempts after a job throws.
+    unsigned deadline_ms = 0; ///< Per-job soft deadline (0 = none).
+    FaultPlan fault;          ///< Injected fault (tests / CI).
+};
+
+/** What one runShard() invocation did and left behind. */
+struct ShardReport {
+    std::size_t shard = 0;
+    std::size_t owned = 0;     ///< Jobs in the shard's range.
+    std::size_t completed = 0; ///< Done after this run (incl. resumed).
+    std::size_t ran = 0;       ///< Jobs executed by this invocation.
+    std::size_t failed = 0;    ///< Jobs whose retries are exhausted.
+    std::size_t skipped = 0;   ///< Drained by a stop request.
+    bool stopped = false;      ///< A stop request ended the run early.
+
+    bool complete() const { return completed == owned; }
+};
+
+/** One shard's health as read back from its manifest. */
+struct ShardStatus {
+    std::size_t shard = 0;
+    std::size_t owned = 0;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t remaining = 0; ///< Neither done nor failed.
+    /** Failing jobs (index -> last attempt count + message). */
+    std::map<std::size_t, FailRecord> failures;
+};
+
+/** Whole-campaign health, derived from meta + every manifest. */
+struct CampaignStatus {
+    ManifestMeta meta;
+    std::vector<ShardStatus> shards;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t remaining = 0;
+
+    bool complete() const { return failed == 0 && remaining == 0; }
+};
+
+/** Derive the persisted identity of a campaign over @p spec. */
+ManifestMeta makeMeta(const runner::SweepSpec &spec, std::size_t shards,
+                      const std::string &csv_name,
+                      const std::string &scale);
+
+/**
+ * Create @p dir (and its meta file) for @p meta, or validate that the
+ * existing meta matches — resuming with different flags (figure,
+ * scale, seed, shard count) is refused with a runtime_error rather
+ * than silently producing a mixed, unmergeable campaign.
+ */
+void openCampaign(const ManifestMeta &meta, const std::string &dir);
+
+/**
+ * Run (or resume) one shard: replay its manifest, execute only the
+ * missing jobs on a work-stealing pool, and commit each job to the
+ * manifest as it completes. Failed jobs from a previous run are
+ * re-attempted. When the shard finishes cleanly its header-less CSV
+ * slice is atomically renamed into `shard_<k>.csv`.
+ */
+ShardReport runShard(const runner::SweepSpec &spec,
+                     const ManifestMeta &meta,
+                     const CampaignConfig &config, std::size_t shard);
+
+/** Read back campaign health from @p dir (meta + all manifests). */
+CampaignStatus campaignStatus(const std::string &dir);
+
+/**
+ * Render the merged final CSV (header + every job's rows in global
+ * job-index order) from the shard manifests. Throws if any job is
+ * missing or failed — merging a partial campaign would silently
+ * violate the determinism contract.
+ */
+std::string mergedCsv(const std::string &dir);
+
+/** mergedCsv() written atomically to `<dir>/<csv_name>`; returns the
+ *  path. Also (re)writes any missing shard_<k>.csv slices. */
+std::string writeMergedCsv(const std::string &dir);
+
+// ----------------------------------------------- graceful shutdown
+// SIGINT/SIGTERM (via installStopSignalHandlers) or requestStop() flip
+// a process-wide flag; workers finish the job they are on, skip the
+// rest, and runShard returns with stopped=true. Everything committed
+// so far is on disk, so the campaign resumes exactly where it drained.
+
+/** Install SIGINT/SIGTERM handlers that call requestStop(). */
+void installStopSignalHandlers();
+
+void requestStop();
+bool stopRequested();
+void clearStopRequest(); ///< Tests re-arm between scenarios.
+
+} // namespace leaky::campaign
+
+#endif // LEAKY_CAMPAIGN_CAMPAIGN_HH

@@ -1,0 +1,90 @@
+#include "campaign/fault.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/flags.hh"
+
+namespace leaky::campaign {
+
+bool
+FaultPlan::parse(const std::string &text, FaultPlan *plan,
+                 std::string *error)
+{
+    const auto at = text.find('@');
+    if (at == std::string::npos) {
+        *error = "fault spec '" + text +
+                 "' must be crash|throw|hang@<n>[:ms]";
+        return false;
+    }
+    const std::string kind = text.substr(0, at);
+    std::string count = text.substr(at + 1);
+
+    FaultPlan parsed;
+    if (kind == "crash") {
+        parsed.kind = FaultKind::kCrash;
+    } else if (kind == "throw") {
+        parsed.kind = FaultKind::kThrow;
+    } else if (kind == "hang") {
+        parsed.kind = FaultKind::kHang;
+    } else {
+        *error = "unknown fault kind '" + kind +
+                 "' (crash | throw | hang)";
+        return false;
+    }
+
+    const auto colon = count.find(':');
+    if (colon != std::string::npos) {
+        if (parsed.kind != FaultKind::kHang) {
+            *error = "only hang faults take a :ms suffix";
+            return false;
+        }
+        std::uint32_t ms = 0;
+        if (!runner::parseUint32(count.substr(colon + 1), &ms)) {
+            *error = "bad hang duration in '" + text + "'";
+            return false;
+        }
+        parsed.hang_ms = ms;
+        count.resize(colon);
+    }
+
+    std::uint64_t n = 0;
+    if (!runner::parseUint64(count, &n) || n == 0) {
+        *error = "bad job count in fault spec '" + text +
+                 "' (need a positive integer)";
+        return false;
+    }
+    parsed.at_job = n;
+    *plan = parsed;
+    return true;
+}
+
+void
+FaultInjector::onJobStart()
+{
+    if (!plan_.armed())
+        return;
+    const auto n = started_.fetch_add(1) + 1;
+    if (n != plan_.at_job)
+        return;
+    switch (plan_.kind) {
+      case FaultKind::kCrash:
+        // A kill: no unwinding, no stream flush — exactly what a
+        // SIGKILL or OOM leaves behind. Committed manifest records
+        // were flushed per job, so only in-flight work is lost.
+        std::_Exit(kCrashExitCode);
+      case FaultKind::kThrow:
+        throw std::runtime_error("injected fault: throw at job " +
+                                 std::to_string(n));
+      case FaultKind::kHang:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(plan_.hang_ms));
+        return;
+      case FaultKind::kNone:
+        return;
+    }
+}
+
+} // namespace leaky::campaign

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic fault injection for the campaign layer. A FaultPlan
+ * names one fault — crash the process, throw, or hang past the per-job
+ * deadline — and the (1-based) job execution at which it fires within
+ * the current process. Plans are selectable from tests (construct the
+ * struct), from the CLI (`--fault crash@3`) and from the environment
+ * (`LEAKY_CAMPAIGN_FAULT`), so the kill-and-resume, retry, and
+ * shard-merge paths are exercised reproducibly in tier-1 tests and CI
+ * rather than only by real outages.
+ */
+
+#ifndef LEAKY_CAMPAIGN_FAULT_HH
+#define LEAKY_CAMPAIGN_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace leaky::campaign {
+
+/** Exit code of an injected crash (distinct from every CLI status, so
+ *  CI can assert the kill really was the injected one). */
+constexpr int kCrashExitCode = 42;
+
+/** Environment variable holding a fault spec (`crash|throw|hang@N[:ms]`). */
+constexpr const char *kFaultEnvVar = "LEAKY_CAMPAIGN_FAULT";
+
+enum class FaultKind {
+    kNone,
+    kCrash, ///< _Exit(kCrashExitCode): a kill, nothing flushed or unwound.
+    kThrow, ///< Throw std::runtime_error: exercises the retry path.
+    kHang,  ///< Sleep hang_ms before the job runs: trips the deadline.
+};
+
+/** One planned fault, armed at the Nth job execution of this process. */
+struct FaultPlan {
+    FaultKind kind = FaultKind::kNone;
+    /** 1-based count of job executions (attempts count separately) at
+     *  which the fault fires. 0 with kind != kNone never fires. */
+    std::uint64_t at_job = 0;
+    unsigned hang_ms = 50; ///< Sleep length of a kHang fault.
+
+    bool armed() const { return kind != FaultKind::kNone && at_job > 0; }
+
+    /**
+     * Parse `crash@N`, `throw@N`, or `hang@N[:ms]`. On failure fills
+     * @p error and returns false, leaving @p plan untouched.
+     */
+    static bool parse(const std::string &text, FaultPlan *plan,
+                      std::string *error);
+};
+
+/** Process-wide attempt counter that fires the plan exactly once. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan) : plan_(plan) {}
+
+    /**
+     * Call at the start of every job attempt. When the attempt counter
+     * reaches the plan's trigger: kCrash calls std::_Exit, kThrow
+     * throws, kHang sleeps hang_ms and returns (letting the deadline
+     * check fail the attempt). Later attempts pass clean — an injected
+     * throw is transient, so bounded retry recovers from it.
+     */
+    void onJobStart();
+
+  private:
+    FaultPlan plan_;
+    std::atomic<std::uint64_t> started_{0};
+};
+
+} // namespace leaky::campaign
+
+#endif // LEAKY_CAMPAIGN_FAULT_HH

@@ -1,0 +1,306 @@
+#include "campaign/manifest.hh"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+namespace leaky::campaign {
+
+namespace {
+
+// Every manifest record ends with this token (then a newline). A
+// record torn by a kill loses its tail, fails the suffix check, and
+// is skipped on replay — the cheapest possible commit marker.
+constexpr const char kRecordEnd[] = " ok";
+constexpr std::size_t kRecordEndLen = 3;
+
+std::string
+joinColumns(const std::vector<std::string> &columns)
+{
+    std::string out;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        if (c)
+            out += ',';
+        out += columns[c];
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitList(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (true) {
+        const auto next = text.find(sep, pos);
+        parts.push_back(text.substr(
+            pos, next == std::string::npos ? std::string::npos
+                                           : next - pos));
+        if (next == std::string::npos)
+            break;
+        pos = next + 1;
+    }
+    return parts;
+}
+
+/** Newlines inside record payloads would forge record boundaries. */
+std::string
+sanitize(const std::string &text)
+{
+    std::string out = text;
+    for (auto &ch : out)
+        if (ch == '\n' || ch == '\r')
+            ch = ' ';
+    return out;
+}
+
+/** Strip the trailing ` ok` marker; false = torn or foreign line. */
+bool
+stripRecordEnd(std::string *line)
+{
+    if (line->size() < kRecordEndLen ||
+        line->compare(line->size() - kRecordEndLen, kRecordEndLen,
+                      kRecordEnd) != 0)
+        return false;
+    line->resize(line->size() - kRecordEndLen);
+    return true;
+}
+
+/** The remainder of @p iss after the leading space, or "" if none. */
+std::string
+restOf(std::istringstream &iss)
+{
+    std::string rest;
+    std::getline(iss, rest);
+    if (!rest.empty() && rest.front() == ' ')
+        rest.erase(0, 1);
+    return rest;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- meta
+
+std::string
+ManifestMeta::serialize() const
+{
+    std::ostringstream out;
+    out << "campaign-meta v1\n"
+        << "figure " << figure << "\n"
+        << "csv " << csv_name << "\n"
+        << "scale " << scale << "\n"
+        << "seed " << seed << "\n"
+        << "shards " << shards << "\n"
+        << "jobs " << jobs << "\n"
+        << "columns " << joinColumns(columns) << "\n";
+    return out.str();
+}
+
+ManifestMeta
+ManifestMeta::parse(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != "campaign-meta v1")
+        throw std::runtime_error(
+            "campaign meta is damaged (bad version line)");
+
+    ManifestMeta meta;
+    bool saw_columns = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream iss(line);
+        std::string key;
+        iss >> key;
+        const std::string value = restOf(iss);
+        if (key == "figure") {
+            meta.figure = value;
+        } else if (key == "csv") {
+            meta.csv_name = value;
+        } else if (key == "scale") {
+            meta.scale = value;
+        } else if (key == "seed") {
+            meta.seed = std::stoull(value);
+        } else if (key == "shards") {
+            meta.shards = std::stoull(value);
+        } else if (key == "jobs") {
+            meta.jobs = std::stoull(value);
+        } else if (key == "columns") {
+            meta.columns = splitList(value, ',');
+            saw_columns = true;
+        } else {
+            throw std::runtime_error(
+                "campaign meta is damaged (unknown key '" + key + "')");
+        }
+    }
+    if (meta.figure.empty() || meta.csv_name.empty() ||
+        meta.shards == 0 || !saw_columns)
+        throw std::runtime_error(
+            "campaign meta is damaged (missing fields)");
+    return meta;
+}
+
+std::string
+ManifestMeta::describe() const
+{
+    std::ostringstream out;
+    out << "figure=" << figure << " scale=" << scale << " seed=" << seed
+        << " shards=" << shards << " jobs=" << jobs;
+    return out.str();
+}
+
+bool
+ManifestMeta::operator==(const ManifestMeta &other) const
+{
+    return figure == other.figure && csv_name == other.csv_name &&
+           scale == other.scale && seed == other.seed &&
+           shards == other.shards && jobs == other.jobs &&
+           columns == other.columns;
+}
+
+// --------------------------------------------------------------- state
+
+ManifestState
+ManifestState::load(const std::string &path)
+{
+    ManifestState state;
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return state; // Fresh shard: nothing recorded yet.
+    std::string content((std::istreambuf_iterator<char>(file)),
+                        std::istreambuf_iterator<char>());
+
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+        const auto nl = content.find('\n', pos);
+        std::string line = content.substr(
+            pos,
+            nl == std::string::npos ? std::string::npos : nl - pos);
+        pos = nl == std::string::npos ? content.size() : nl + 1;
+
+        // Torn (killed mid-append) and foreign lines lack the end
+        // marker and are skipped; the job involved is simply re-run.
+        if (!stripRecordEnd(&line))
+            continue;
+        std::istringstream iss(line);
+        std::string tag;
+        iss >> tag;
+        if (tag == "done") {
+            std::size_t index = 0, nrows = 0;
+            if (!(iss >> index >> nrows))
+                continue;
+            const std::string payload = restOf(iss);
+            std::vector<std::string> rows;
+            if (nrows > 0) {
+                rows = splitList(payload, ';');
+                bool well_formed = rows.size() == nrows;
+                for (const auto &row : rows)
+                    well_formed = well_formed && !row.empty();
+                if (!well_formed)
+                    continue;
+            } else if (!payload.empty()) {
+                continue;
+            }
+            state.done[index] = std::move(rows);
+            state.failed.erase(index);
+        } else if (tag == "fail") {
+            std::size_t index = 0;
+            unsigned attempts = 0;
+            if (!(iss >> index >> attempts))
+                continue;
+            if (state.done.count(index))
+                continue; // A completed job stays completed.
+            state.failed[index] = {attempts, restOf(iss)};
+        }
+        // Header and unknown tags: identity only, nothing to replay.
+    }
+    return state;
+}
+
+// -------------------------------------------------------------- writer
+
+ManifestWriter::ManifestWriter(const std::string &path, std::size_t shard,
+                               std::size_t shards,
+                               std::size_t range_begin,
+                               std::size_t range_end)
+    : path_(path)
+{
+    // A kill mid-append can leave the file without a trailing newline;
+    // terminate that torn line so the next record starts clean.
+    bool needs_newline = false;
+    bool fresh = true;
+    {
+        std::ifstream existing(path, std::ios::binary | std::ios::ate);
+        if (existing && existing.tellg() > 0) {
+            fresh = false;
+            existing.seekg(-1, std::ios::end);
+            char last = '\n';
+            existing.get(last);
+            needs_newline = last != '\n';
+        }
+    }
+    file_.open(path, std::ios::binary | std::ios::app);
+    if (!file_)
+        throw std::runtime_error("cannot open campaign manifest " +
+                                 path + " for appending");
+    if (needs_newline)
+        append("");
+    if (fresh) {
+        std::ostringstream header;
+        header << "campaign-manifest v1 shard " << shard << " of "
+               << shards << " range " << range_begin << " "
+               << range_end << kRecordEnd;
+        append(header.str());
+    }
+}
+
+void
+ManifestWriter::jobDone(std::size_t index,
+                        const std::vector<std::string> &rows)
+{
+    std::ostringstream record;
+    record << "done " << index << " " << rows.size() << " ";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r)
+            record << ';';
+        record << rows[r];
+    }
+    record << kRecordEnd;
+    append(record.str());
+}
+
+void
+ManifestWriter::jobFailed(std::size_t index, unsigned attempts,
+                          const std::string &message)
+{
+    std::ostringstream record;
+    record << "fail " << index << " " << attempts << " "
+           << sanitize(message) << kRecordEnd;
+    append(record.str());
+}
+
+void
+ManifestWriter::append(const std::string &record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    file_ << record << '\n';
+    file_.flush();
+    if (!file_)
+        throw std::runtime_error("append to campaign manifest " +
+                                 path_ + " failed");
+}
+
+// ------------------------------------------------------------- utility
+
+std::string
+readFileOrThrow(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        throw std::runtime_error("cannot read " + path);
+    return std::string((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+}
+
+} // namespace leaky::campaign

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Kill-safe campaign persistence. Two file kinds live in a campaign
+ * directory:
+ *
+ * - `campaign.meta` — the campaign identity (figure, scale, seed,
+ *   shard count, job count, CSV columns), written once with an atomic
+ *   rename. Resume validates it so shards of different campaigns can
+ *   never be mixed or merged.
+ * - `manifest_<k>.log` — one append-only manifest per shard. Every
+ *   completed job appends a single self-contained `done` record
+ *   carrying its already-rendered CSV row cells; every exhausted
+ *   retry appends a `fail` record. Records end with a literal ` ok`
+ *   token and a newline, so a record torn by a kill mid-append simply
+ *   fails the suffix check and the job is re-run on resume — no fsync
+ *   choreography, no partial state.
+ *
+ * Loading replays the log in order: the last record per job index
+ * wins, a `done` erases an earlier `fail`, and unparseable or torn
+ * lines are skipped. Because row cells are rendered with
+ * runner::csvCell at commit time, a merge of manifests reproduces the
+ * single-process CSV byte for byte.
+ */
+
+#ifndef LEAKY_CAMPAIGN_MANIFEST_HH
+#define LEAKY_CAMPAIGN_MANIFEST_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace leaky::campaign {
+
+/** Campaign identity, persisted as `campaign.meta`. */
+struct ManifestMeta {
+    std::string figure;   ///< Figure / sweep name.
+    std::string csv_name; ///< Final merged artifact file name.
+    std::string scale;    ///< smoke | default | full.
+    std::uint64_t seed = 1;
+    std::size_t shards = 1;
+    std::size_t jobs = 0;
+    std::vector<std::string> columns;
+
+    std::string serialize() const;
+    /** Parse a serialized meta; throws std::runtime_error on damage. */
+    static ManifestMeta parse(const std::string &text);
+    /** One-line human description for mismatch errors. */
+    std::string describe() const;
+
+    bool operator==(const ManifestMeta &other) const;
+    bool operator!=(const ManifestMeta &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** Last recorded failure of a job that is not (yet) done. */
+struct FailRecord {
+    unsigned attempts = 0;
+    std::string message;
+};
+
+/** Replayed view of one shard manifest. */
+struct ManifestState {
+    /** Job index -> rendered CSV row lines (cells already joined). */
+    std::map<std::size_t, std::vector<std::string>> done;
+    /** Job index -> last failure; never overlaps `done`. */
+    std::map<std::size_t, FailRecord> failed;
+
+    /** Replay @p path; a missing file is an empty (fresh) state. */
+    static ManifestState load(const std::string &path);
+};
+
+/**
+ * Append-only manifest writer. Thread-safe: workers commit jobs
+ * concurrently and each record is written and flushed under one lock,
+ * so records never interleave. Opening an existing manifest first
+ * terminates any torn trailing line so new records start clean.
+ */
+class ManifestWriter
+{
+  public:
+    /** Open (or create, with a header record) the shard manifest.
+     *  Throws std::runtime_error when the file cannot be opened. */
+    ManifestWriter(const std::string &path, std::size_t shard,
+                   std::size_t shards, std::size_t range_begin,
+                   std::size_t range_end);
+
+    /** Commit a completed job: one `done` record with its rows. */
+    void jobDone(std::size_t index,
+                 const std::vector<std::string> &rows);
+
+    /** Record a job whose bounded retries are exhausted. */
+    void jobFailed(std::size_t index, unsigned attempts,
+                   const std::string &message);
+
+  private:
+    void append(const std::string &record);
+
+    std::mutex mutex_;
+    std::ofstream file_;
+    std::string path_;
+};
+
+/** Read a whole file; throws std::runtime_error when unreadable. */
+std::string readFileOrThrow(const std::string &path);
+
+} // namespace leaky::campaign
+
+#endif // LEAKY_CAMPAIGN_MANIFEST_HH

@@ -1,0 +1,48 @@
+#include "campaign/shard.hh"
+
+#include <filesystem>
+
+#include "sim/logging.hh"
+
+namespace leaky::campaign {
+
+ShardRange
+shardRange(std::size_t jobs, std::size_t shards, std::size_t shard)
+{
+    LEAKY_ASSERT(shards > 0, "campaign needs at least one shard");
+    LEAKY_ASSERT(shard < shards, "shard index out of range");
+    ShardRange range;
+    range.begin = jobs * shard / shards;
+    range.end = jobs * (shard + 1) / shards;
+    return range;
+}
+
+std::string
+metaPath(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "campaign.meta").string();
+}
+
+std::string
+manifestPath(const std::string &dir, std::size_t shard)
+{
+    return (std::filesystem::path(dir) /
+            ("manifest_" + std::to_string(shard) + ".log"))
+        .string();
+}
+
+std::string
+shardCsvPath(const std::string &dir, std::size_t shard)
+{
+    return (std::filesystem::path(dir) /
+            ("shard_" + std::to_string(shard) + ".csv"))
+        .string();
+}
+
+std::string
+mergedCsvPath(const std::string &dir, const std::string &csv_name)
+{
+    return (std::filesystem::path(dir) / csv_name).string();
+}
+
+} // namespace leaky::campaign

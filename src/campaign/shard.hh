@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shard geometry and campaign-directory layout. A campaign partitions
+ * the job-index space [0, jobs) into `shards` contiguous ranges, one
+ * per (potentially separate-process) shard. Because every job's seed
+ * is a splitmix64 fan-out of (base_seed, index) — never of anything
+ * schedule- or shard-dependent — the partition boundaries cannot
+ * change any job's result, and concatenating shard outputs in shard
+ * order reproduces the single-process job-index order exactly.
+ */
+
+#ifndef LEAKY_CAMPAIGN_SHARD_HH
+#define LEAKY_CAMPAIGN_SHARD_HH
+
+#include <cstddef>
+#include <string>
+
+namespace leaky::campaign {
+
+/** Half-open job-index range [begin, end) owned by one shard. */
+struct ShardRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+    bool contains(std::size_t index) const
+    {
+        return index >= begin && index < end;
+    }
+};
+
+/**
+ * The contiguous range shard @p shard of @p shards owns over @p jobs
+ * jobs: [floor(shard * jobs / shards), floor((shard+1) * jobs /
+ * shards)). Ranges tile the index space exactly and differ in size by
+ * at most one job. Asserts shard < shards.
+ */
+ShardRange shardRange(std::size_t jobs, std::size_t shards,
+                      std::size_t shard);
+
+// ------------------------------------------------- directory layout
+// All campaign state lives flat in one directory so a campaign can be
+// inspected, resumed, or archived by path alone.
+
+/** `<dir>/campaign.meta` — the campaign identity record. */
+std::string metaPath(const std::string &dir);
+
+/** `<dir>/manifest_<shard>.log` — the shard's append-only manifest. */
+std::string manifestPath(const std::string &dir, std::size_t shard);
+
+/** `<dir>/shard_<shard>.csv` — the shard's header-less row slice,
+ *  atomically renamed into place when the shard completes. */
+std::string shardCsvPath(const std::string &dir, std::size_t shard);
+
+/** `<dir>/<csv_name>` — the merged, header-ed final artifact. */
+std::string mergedCsvPath(const std::string &dir,
+                          const std::string &csv_name);
+
+} // namespace leaky::campaign
+
+#endif // LEAKY_CAMPAIGN_SHARD_HH

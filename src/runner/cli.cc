@@ -1,10 +1,12 @@
 #include "runner/cli.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
 #include "core/report.hh"
 #include "runner/demos.hh"
 #include "runner/figures.hh"
@@ -18,6 +20,8 @@ namespace {
 constexpr int kOk = 0;
 constexpr int kRuntimeError = 1;
 constexpr int kUsageError = 2;
+/** A stop signal drained the campaign; resume with the same command. */
+constexpr int kInterrupted = 3;
 
 void
 printTopUsage()
@@ -28,6 +32,7 @@ printTopUsage()
         "commands:\n"
         "  list                list reproducible figures and demos\n"
         "  repro --fig <name>  reproduce a paper figure (CSV artifact)\n"
+        "  campaign [flags]    sharded, resumable, kill-safe sweeps\n"
         "  run <demo> [flags]  run one narrated scenario demo\n"
         "  bench [flags]       measure sweep-runner throughput\n"
         "  help                this text\n"
@@ -172,6 +177,197 @@ cmdRepro(int argc, char **argv)
     return reproduceOne(*figure, opts);
 }
 
+// ----------------------------------------------------------- campaign
+
+constexpr std::uint32_t kAllShards = 0xffffffffu;
+
+void
+addCampaignFlags(FlagParser &parser, std::string *fig, std::string *dir,
+                 std::uint32_t *shards, std::uint32_t *shard,
+                 unsigned *threads, bool *smoke, bool *full,
+                 std::uint64_t *seed, std::uint32_t *retries,
+                 std::uint32_t *deadline_ms, std::string *fault,
+                 std::string *status_dir, std::string *merge_dir)
+{
+    parser.addString("fig", fig, "figure to run as a campaign");
+    parser.addString("dir", dir,
+                     "campaign state directory (manifests, shard CSVs, "
+                     "merged artifact)");
+    parser.addUint("shards", shards,
+                   "number of job-range shards (default 1)");
+    parser.addUint("shard", shard,
+                   "run only this shard, 0-based (default: all shards "
+                   "in this process)");
+    parser.addUint("threads", threads,
+                   "pool workers per shard (0 = hardware concurrency)");
+    parser.addBool("smoke", smoke, "CI scale: tiny but complete sweep");
+    parser.addBool("full", full, "paper scale (hours of simulation)");
+    parser.addUint64("seed", seed, "base seed (0 = figure default)");
+    parser.addUint("retries", retries,
+                   "deterministic re-attempts after a job throws "
+                   "(default 2)");
+    parser.addUint("deadline-ms", deadline_ms,
+                   "per-job soft deadline in ms; exceeding it counts "
+                   "as a failure (0 = none)");
+    parser.addString("fault", fault,
+                     "inject a fault: crash|throw|hang@<n>[:ms] "
+                     "(also via LEAKY_CAMPAIGN_FAULT)");
+    parser.addString("status", status_dir,
+                     "print campaign health for <dir> and exit "
+                     "(non-zero if any job failed)");
+    parser.addString("merge", merge_dir,
+                     "merge the completed campaign in <dir> and exit");
+}
+
+int
+campaignStatusMain(const std::string &dir)
+{
+    const auto status = campaign::campaignStatus(dir);
+    std::printf("campaign %s (%s, seed %llu): %zu jobs over %zu "
+                "shard(s)\n",
+                status.meta.figure.c_str(), status.meta.scale.c_str(),
+                static_cast<unsigned long long>(status.meta.seed),
+                status.meta.jobs, status.meta.shards);
+    core::Table table({"shard", "jobs", "done", "failed", "remaining"});
+    for (const auto &shard : status.shards)
+        table.addRow({std::to_string(shard.shard),
+                      std::to_string(shard.owned),
+                      std::to_string(shard.done),
+                      std::to_string(shard.failed),
+                      std::to_string(shard.remaining)});
+    std::printf("%s", table.str().c_str());
+    std::printf("total: %zu done, %zu failed, %zu remaining\n",
+                status.done, status.failed, status.remaining);
+    for (const auto &shard : status.shards)
+        for (const auto &[index, fail] : shard.failures)
+            std::printf("  failed job %zu (shard %zu, %u attempts): "
+                        "%s\n",
+                        index, shard.shard, fail.attempts,
+                        fail.message.c_str());
+    if (status.failed > 0) {
+        std::fprintf(stderr,
+                     "leakyhammer: %zu job(s) failed — campaign is "
+                     "unhealthy\n",
+                     status.failed);
+        return kRuntimeError;
+    }
+    return kOk;
+}
+
+int
+campaignMergeMain(const std::string &dir)
+{
+    const auto path = campaign::writeMergedCsv(dir);
+    std::printf("merged campaign CSV: %s\n", path.c_str());
+    return kOk;
+}
+
+int
+cmdCampaign(int argc, char **argv)
+{
+    std::string fig_name, dir, fault_spec, status_dir, merge_dir;
+    RunOptions opts;
+    std::uint32_t shards = 1, shard = kAllShards;
+    std::uint32_t retries = 2, deadline_ms = 0;
+    FlagParser parser;
+    addCampaignFlags(parser, &fig_name, &dir, &shards, &shard,
+                     &opts.threads, &opts.smoke, &opts.full, &opts.seed,
+                     &retries, &deadline_ms, &fault_spec, &status_dir,
+                     &merge_dir);
+    std::string error;
+    if (!parser.parse(argc, argv, &error))
+        return usageError(error, "campaign");
+
+    if (!status_dir.empty())
+        return campaignStatusMain(status_dir);
+    if (!merge_dir.empty())
+        return campaignMergeMain(merge_dir);
+
+    if (fig_name.empty() || dir.empty())
+        return usageError("campaign needs --fig <name> and --dir <dir> "
+                          "(or --status/--merge <dir>)",
+                          "campaign");
+    const Figure *figure = findFigure(fig_name);
+    if (figure == nullptr)
+        return usageError("unknown figure '" + fig_name + "'",
+                          "campaign");
+    if (shards == 0)
+        return usageError("--shards must be positive", "campaign");
+    if (shard != kAllShards && shard >= shards)
+        return usageError("--shard must be < --shards", "campaign");
+
+    campaign::CampaignConfig config;
+    config.dir = dir;
+    config.threads = opts.threads;
+    config.retries = retries;
+    config.deadline_ms = deadline_ms;
+    if (fault_spec.empty())
+        if (const char *env = std::getenv(campaign::kFaultEnvVar))
+            fault_spec = env;
+    if (!fault_spec.empty() &&
+        !campaign::FaultPlan::parse(fault_spec, &config.fault, &error))
+        return usageError(error, "campaign");
+
+    const SweepSpec spec = figure->make(opts);
+    const std::string scale =
+        opts.full ? "full" : (opts.smoke ? "smoke" : "default");
+    const auto meta =
+        campaign::makeMeta(spec, shards, figure->csv_name, scale);
+    campaign::openCampaign(meta, dir);
+    campaign::installStopSignalHandlers();
+
+    std::printf("campaign %s (%s): %zu jobs over %u shard(s) in %s\n",
+                meta.figure.c_str(), meta.scale.c_str(), meta.jobs,
+                shards, dir.c_str());
+    std::vector<std::size_t> to_run;
+    if (shard == kAllShards)
+        for (std::size_t s = 0; s < shards; ++s)
+            to_run.push_back(s);
+    else
+        to_run.push_back(shard);
+
+    std::size_t failed = 0;
+    bool stopped = false;
+    for (const auto s : to_run) {
+        const auto report = campaign::runShard(spec, meta, config, s);
+        std::printf("shard %zu: %zu/%zu done (%zu run now, %zu failed, "
+                    "%zu skipped)%s\n",
+                    report.shard, report.completed, report.owned,
+                    report.ran, report.failed, report.skipped,
+                    report.stopped ? " [stopped]" : "");
+        failed += report.failed;
+        stopped = stopped || report.stopped;
+        if (stopped)
+            break;
+    }
+
+    const auto status = campaign::campaignStatus(dir);
+    if (status.complete()) {
+        const auto path = campaign::writeMergedCsv(dir);
+        std::printf("campaign complete: merged CSV at %s\n",
+                    path.c_str());
+        return kOk;
+    }
+    if (stopped) {
+        std::printf("campaign interrupted after checkpoint: %zu done, "
+                    "%zu remaining — rerun the same command to "
+                    "resume\n",
+                    status.done, status.remaining);
+        return kInterrupted;
+    }
+    if (failed > 0 || status.failed > 0) {
+        std::fprintf(stderr,
+                     "leakyhammer: %zu job(s) failed (see `campaign "
+                     "--status %s`)\n",
+                     status.failed, dir.c_str());
+        return kRuntimeError;
+    }
+    std::printf("shard(s) done: campaign at %zu/%zu jobs — run the "
+                "remaining shards, then `campaign --merge %s`\n",
+                status.done, status.meta.jobs, dir.c_str());
+    return kOk;
+}
+
 // ---------------------------------------------------------------- run
 
 int
@@ -260,6 +456,31 @@ cmdHelp(int argc, char **argv)
                     parser.helpText().c_str());
         return kOk;
     }
+    if (topic == "campaign") {
+        std::string s1, s2, s3, s4, s5;
+        unsigned threads = 0;
+        std::uint32_t shards = 0, shard = 0, retries = 0, deadline = 0;
+        bool smoke = false, full = false;
+        std::uint64_t seed = 0;
+        addCampaignFlags(parser, &s1, &s2, &shards, &shard, &threads,
+                         &smoke, &full, &seed, &retries, &deadline,
+                         &s3, &s4, &s5);
+        std::printf(
+            "usage: leakyhammer campaign --fig <name> --dir <dir> "
+            "[flags]\n"
+            "       leakyhammer campaign --status <dir>\n"
+            "       leakyhammer campaign --merge <dir>\n%s"
+            "\nA campaign shards a figure's sweep by job-index range,\n"
+            "checkpoints every completed job to an append-only\n"
+            "manifest, and resumes after a kill by running only the\n"
+            "missing jobs. The merged CSV is byte-identical to a\n"
+            "single-process `repro` run for any shard count and any\n"
+            "kill/resume schedule.\n"
+            "exit codes: 0 ok, 1 failed jobs, 2 usage, 3 interrupted "
+            "(resumable), 42 injected crash\n",
+            parser.helpText().c_str());
+        return kOk;
+    }
     if (topic == "run") {
         std::printf(
             "usage: leakyhammer run <demo> [flags]\n"
@@ -298,6 +519,8 @@ cliMain(int argc, char **argv)
             return cmdList(argc - 2, argv + 2);
         if (command == "repro")
             return cmdRepro(argc - 2, argv + 2);
+        if (command == "campaign")
+            return cmdCampaign(argc - 2, argv + 2);
         if (command == "run")
             return cmdRun(argc - 2, argv + 2);
         if (command == "bench")

@@ -38,11 +38,20 @@ void
 SweepPool::forEach(std::size_t n,
                    const std::function<void(std::size_t)> &fn)
 {
+    const auto errors = forEachIsolated(n, fn);
+    if (!errors.empty())
+        std::rethrow_exception(errors.front().error);
+}
+
+std::vector<JobError>
+SweepPool::forEachIsolated(std::size_t n,
+                           const std::function<void(std::size_t)> &fn)
+{
     if (n == 0)
-        return;
+        return {};
     {
         std::lock_guard<std::mutex> lock(run_mutex_);
-        first_error_ = nullptr;
+        errors_.clear();
         fn_ = &fn;
         remaining_ = n;
         ++epoch_;
@@ -54,14 +63,21 @@ SweepPool::forEach(std::size_t n,
 
     drain(0); // The caller is worker 0.
 
-    std::unique_lock<std::mutex> lock(run_mutex_);
-    done_cv_.wait(lock, [this] { return remaining_ == 0 && active_ == 0; });
-    fn_ = nullptr;
-    if (first_error_) {
-        const auto error = first_error_;
-        first_error_ = nullptr;
-        std::rethrow_exception(error);
+    std::vector<JobError> errors;
+    {
+        std::unique_lock<std::mutex> lock(run_mutex_);
+        done_cv_.wait(lock,
+                      [this] { return remaining_ == 0 && active_ == 0; });
+        fn_ = nullptr;
+        errors = std::move(errors_);
+        errors_.clear();
     }
+    // Completion order depends on stealing; report deterministically.
+    std::sort(errors.begin(), errors.end(),
+              [](const JobError &a, const JobError &b) {
+                  return a.index < b.index;
+              });
+    return errors;
 }
 
 void
@@ -93,9 +109,17 @@ SweepPool::drain(unsigned id)
         try {
             (*fn_)(job);
         } catch (...) {
+            auto error = std::current_exception();
+            std::string what;
+            try {
+                std::rethrow_exception(error);
+            } catch (const std::exception &e) {
+                what = e.what();
+            } catch (...) {
+                what = "unknown exception";
+            }
             std::lock_guard<std::mutex> lock(run_mutex_);
-            if (!first_error_)
-                first_error_ = std::current_exception();
+            errors_.push_back({job, std::move(what), std::move(error)});
         }
         std::lock_guard<std::mutex> lock(run_mutex_);
         if (--remaining_ == 0)

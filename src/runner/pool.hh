@@ -22,10 +22,18 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace leaky::runner {
+
+/** One job of a batch that threw: which, and what it said. */
+struct JobError {
+    std::size_t index = 0;
+    std::string message; ///< what() of the exception (or "unknown").
+    std::exception_ptr error;
+};
 
 /** Persistent work-stealing pool; forEach() runs one batch. */
 class SweepPool
@@ -45,10 +53,22 @@ class SweepPool
      * Execute fn(0) ... fn(n - 1) across the pool; blocks until every
      * call returned. Jobs are dealt round-robin and migrate by
      * stealing, so completion order is arbitrary — fn must only touch
-     * disjoint state per index. If any call throws, the first
-     * exception is rethrown here after the batch drains.
+     * disjoint state per index. If any call throws, the batch still
+     * drains and the lowest-index exception is rethrown here —
+     * deterministic, unlike first-to-fail under work stealing.
      */
     void forEach(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Fault-isolating variant: every thrown exception is caught and
+     * recorded against its job index instead of propagating, so one
+     * poisoned job cannot abort the batch or discard its siblings'
+     * results. Returns the failures sorted by job index (empty = all
+     * jobs succeeded).
+     */
+    std::vector<JobError>
+    forEachIsolated(std::size_t n,
+                    const std::function<void(std::size_t)> &fn);
 
     /** Resolve a thread-count request (0 -> hardware concurrency). */
     static unsigned resolveThreads(unsigned requested);
@@ -75,7 +95,7 @@ class SweepPool
     unsigned active_ = 0;       ///< Workers inside drain() (run_mutex_).
     std::uint64_t epoch_ = 0;   ///< Bumped per forEach batch.
     bool stop_ = false;
-    std::exception_ptr first_error_; ///< run_mutex_.
+    std::vector<JobError> errors_; ///< This batch's failures (run_mutex_).
 };
 
 } // namespace leaky::runner

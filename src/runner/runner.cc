@@ -18,6 +18,18 @@ runSweep(const SweepSpec &spec, unsigned threads)
     return runSweep(spec, pool);
 }
 
+std::string
+describeJobParams(const Job &job)
+{
+    std::string out;
+    for (const auto &[name, value] : job.params) {
+        if (!out.empty())
+            out += ", ";
+        out += name + "=" + csvCell(value);
+    }
+    return out.empty() ? "no params" : out;
+}
+
 SweepResult
 runSweep(const SweepSpec &spec, SweepPool &pool)
 {
@@ -27,13 +39,15 @@ runSweep(const SweepSpec &spec, SweepPool &pool)
     // One slot per job: workers write disjoint slots, no locking, and
     // the merge below is independent of completion order.
     std::vector<JobRows> per_job(jobs.size());
-    pool.forEach(jobs.size(), [&](std::size_t i) {
+    const auto errors = pool.forEachIsolated(jobs.size(), [&](std::size_t i) {
         per_job[i] = spec.job(jobs[i]);
         for (const auto &row : per_job[i])
             LEAKY_ASSERT(row.size() == spec.columns.size(),
                          "job row arity != sweep columns");
     });
 
+    // Failed jobs left their slot empty; every completed job's rows
+    // are merged (in job-index order) whether or not a sibling threw.
     SweepResult result;
     result.columns = spec.columns;
     result.jobs = jobs.size();
@@ -44,6 +58,25 @@ runSweep(const SweepSpec &spec, SweepPool &pool)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (!errors.empty()) {
+        std::vector<JobFailure> failures;
+        failures.reserve(errors.size());
+        for (const auto &error : errors)
+            failures.push_back({error.index,
+                                describeJobParams(jobs[error.index]),
+                                error.message});
+        std::string what = "sweep '" + spec.name + "': job " +
+                           std::to_string(failures.front().index) +
+                           " (" + failures.front().params +
+                           ") failed: " + failures.front().message;
+        if (failures.size() > 1)
+            what += " (+" + std::to_string(failures.size() - 1) +
+                    " more failed jobs)";
+        what += "; " +
+                std::to_string(jobs.size() - failures.size()) + "/" +
+                std::to_string(jobs.size()) + " jobs completed";
+        throw SweepError(what, std::move(result), std::move(failures));
+    }
     return result;
 }
 
@@ -85,13 +118,23 @@ toCsv(const SweepResult &result)
 void
 writeFile(const std::string &path, const std::string &content)
 {
-    std::ofstream file(path, std::ios::binary | std::ios::trunc);
-    if (!file)
-        throw std::runtime_error("cannot open " + path + " for writing");
-    file << content;
-    file.flush();
-    if (!file)
-        throw std::runtime_error("write to " + path + " failed");
+    // Write-then-rename: rename(2) is atomic, so a kill between the
+    // two steps leaves at worst a stale .tmp next to an intact target,
+    // never a truncated target.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file)
+            throw std::runtime_error("cannot open " + tmp +
+                                     " for writing");
+        file << content;
+        file.flush();
+        if (!file)
+            throw std::runtime_error("write to " + tmp + " failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw std::runtime_error("cannot rename " + tmp + " into " +
+                                 path);
 }
 
 } // namespace leaky::runner

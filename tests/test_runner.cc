@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -145,6 +147,28 @@ TEST(SweepPool, PropagatesFirstException)
     pool.forEach(8, [](std::size_t) {});
 }
 
+TEST(SweepPool, IsolatedRunCollectsEveryFailureSorted)
+{
+    runner::SweepPool pool(4);
+    std::atomic<int> ran{0};
+    const auto errors = pool.forEachIsolated(64, [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i % 16 == 5)
+            throw std::runtime_error("boom " + std::to_string(i));
+    });
+    // No throw, full drain, and every failing index reported once,
+    // in index order regardless of which worker hit it.
+    EXPECT_EQ(ran.load(), 64);
+    ASSERT_EQ(errors.size(), 4u);
+    for (std::size_t k = 0; k < errors.size(); ++k) {
+        EXPECT_EQ(errors[k].index, 16 * k + 5);
+        EXPECT_EQ(errors[k].message,
+                  "boom " + std::to_string(16 * k + 5));
+        EXPECT_TRUE(errors[k].error);
+    }
+    EXPECT_TRUE(pool.forEachIsolated(8, [](std::size_t) {}).empty());
+}
+
 // ---------------------------------------------------------- collector
 
 TEST(SweepRunner, MergesRowsInJobIndexOrder)
@@ -182,6 +206,56 @@ TEST(SweepRunner, CsvFormatsHeaderAndRoundTripCells)
     // Cells parse back to the exact double.
     EXPECT_EQ(std::stod(runner::csvCell(1.0 / 3.0)), 1.0 / 3.0);
     EXPECT_EQ(std::stod(runner::csvCell(0.1)), 0.1);
+}
+
+TEST(SweepRunner, SweepErrorCarriesPartialRowsAndFailingParams)
+{
+    auto spec = twoAxisSpec();
+    spec.name = "partial";
+    spec.job = [](const Job &job) -> JobRows {
+        if (job.param("a") == 2 && job.param("b") == 20)
+            throw std::runtime_error("bad cell");
+        return {{job.param("a"), job.param("b")}};
+    };
+    try {
+        runner::runSweep(spec, 2);
+        FAIL() << "expected SweepError";
+    } catch (const runner::SweepError &e) {
+        // Job 3 is (a=2, b=20); the other five completed and their
+        // rows stay collectable in expansion order. Params render in
+        // csvCell form (shortest round-trip), hence 20 -> 2e+01.
+        const std::string what = e.what();
+        EXPECT_NE(what.find("job 3 (a=2, b=2e+01) failed: bad cell"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("5/6 jobs completed"), std::string::npos)
+            << what;
+        ASSERT_EQ(e.failures().size(), 1u);
+        EXPECT_EQ(e.failures()[0].index, 3u);
+        EXPECT_EQ(e.failures()[0].params, "a=2, b=2e+01");
+        EXPECT_EQ(e.failures()[0].message, "bad cell");
+        const std::vector<std::vector<double>> expected = {
+            {1, 10}, {1, 20}, {2, 10}, {3, 10}, {3, 20}};
+        EXPECT_EQ(e.partial().rows, expected);
+    }
+}
+
+TEST(SweepRunner, WriteFileIsAtomicAndLeavesNoTmp)
+{
+    const auto path = (std::filesystem::temp_directory_path() /
+                       "leaky_write_atomic.csv")
+                          .string();
+    std::filesystem::remove(path);
+    runner::writeFile(path, "first\n");
+    // Overwrite: the reader either sees the old or the new content,
+    // never a truncated in-between, and no .tmp survives.
+    runner::writeFile(path, "second\n");
+    std::ifstream file(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(file)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "second\n");
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    std::filesystem::remove(path);
 }
 
 // -------------------------------------------------------- determinism
