@@ -46,6 +46,9 @@ fi
 # bash < 4.4 (macOS ships 3.2).
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 cmake --build "$BUILD_DIR" -j "$JOBS"
+# ctest includes the golden differential suite (GoldenFigures.*), so
+# every variant — the asan build in particular — replays the figure
+# pipeline against tests/golden/ byte for byte.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 # Figure-registry smoke: every registered figure reproduces at --smoke

@@ -16,6 +16,8 @@ MemoryController::MemoryController(sim::EventQueue &eq, const CtrlConfig &cfg,
       sched_(cfg.dram.org, cfg.column_cap),
       refresh_(cfg.dram.timing.tREFI, cfg.deterministic_refresh ? 1 : 2),
       defense_(&null_defense_),
+      read_q_(cfg_.dram.org, cfg.read_queue_depth),
+      write_q_(cfg_.dram.org, cfg.write_queue_depth),
       ref_issued_(cfg.dram.org.ranks, false),
       abo_rfms_left_(cfg.dram.org.ranks, 0),
       next_det_ref_(cfg.dram.timing.tREFI),
@@ -60,8 +62,7 @@ MemoryController::enqueue(Request &&req)
     QueueEntry entry;
     entry.arrival = eq_.now();
     entry.order = next_order_++;
-    entry.req = std::move(req);
-    cfg_.dram.org.annotate(entry.req.addr);
+    entry.req = std::move(req); // push() annotates the address.
 
     if (!is_read && entry.req.on_complete) {
         // Posted write: completes (from the CPU's view) on acceptance.
@@ -71,7 +72,7 @@ MemoryController::enqueue(Request &&req)
         eq_.schedule(now, [cb = std::move(entry.req.on_complete),
                            now] { cb(now); });
     }
-    q.push_back(std::move(entry));
+    q.push(std::move(entry));
     last_activity_ = eq_.now();
     scheduleWake(std::max(eq_.now(), next_cmd_at_));
     return true;
@@ -142,11 +143,18 @@ void
 MemoryController::tick()
 {
     const Tick now = eq_.now();
+    idle_pick_valid_ = false;
     refresh_.update(now);
 
+    // Batched issue: drain every command issuable at this tick in one
+    // wake-up instead of re-entering through the event queue once per
+    // command. With a non-zero cmd_gap the body runs at most once per
+    // tick (issuing moves next_cmd_at_ past now); with cmd_gap == 0 a
+    // same-tick batch issues atomically, before any other event
+    // scheduled at this tick runs.
     bool issued = false;
-    if (now >= next_cmd_at_)
-        issued = tryIssueOne(now);
+    while (now >= next_cmd_at_ && tryIssueOne(now))
+        issued = true;
 
     if (issued || now != last_tick_at_) {
         last_tick_at_ = now;
@@ -518,7 +526,7 @@ MemoryController::bankBlocked(const Address &addr, Tick now) const
     return false;
 }
 
-std::deque<QueueEntry> &
+RequestQueue &
 MemoryController::activeQueue()
 {
     return servingWrites() ? write_q_ : read_q_;
@@ -538,17 +546,26 @@ bool
 MemoryController::serveQueues(Tick now)
 {
     auto &q = activeQueue();
-    if (q.empty())
+    if (q.empty()) {
+        idle_pick_.reset();
+        idle_pick_valid_ = true;
         return false;
+    }
 
     const auto decision = sched_.pick(q, chan_, bankFilter(now), now);
-    if (!decision || decision->earliest > now)
+    if (!decision || decision->earliest > now) {
+        // Nothing issued, so no state changed between here and the
+        // wake-up computation at the end of this tick: let it reuse
+        // the decision instead of re-scanning the queue.
+        idle_pick_ = decision;
+        idle_pick_valid_ = true;
         return false;
+    }
 
     QueueEntry &entry = q[decision->index];
     issueAndAccount(decision->cmd, entry, now);
     if (decision->cmd == Command::kRd || decision->cmd == Command::kWr)
-        q.erase(q.begin() + static_cast<std::ptrdiff_t>(decision->index));
+        q.erase(decision->index);
     return true;
 }
 
@@ -648,10 +665,21 @@ MemoryController::computeNextWake(Tick now)
         break;
       }
       case Mode::kNormal: {
-        // Queued requests.
+        // Queued requests. If serveQueues() already ran this tick and
+        // issued nothing, its decision is still valid; otherwise scan.
         auto &q = activeQueue();
-        if (auto d = sched_.pick(q, chan_, bankFilter(now), now))
+        const std::optional<SchedDecision> d =
+            idle_pick_valid_ ? idle_pick_
+                             : sched_.pick(q, chan_, bankFilter(now), now);
+        if (d) {
+            // Early out: the final wake is max(min(candidates),
+            // next_cmd_at_), so any candidate at or before
+            // next_cmd_at_ pins it there exactly -- the remaining
+            // candidates can only lower the (clamped-away) minimum.
+            if (d->earliest <= next_cmd_at_)
+                return next_cmd_at_;
             consider(d->earliest);
+        }
 
         // Bank tasks (RFMsb / bank back-offs).
         for (const auto &task : bank_tasks_) {

@@ -16,7 +16,6 @@
 #define LEAKY_CTRL_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -93,6 +92,17 @@ class MemoryController final : public dram::AlertSink
      */
     bool enqueue(Request &&req);
 
+    /** True when a request of @p type would be rejected right now.
+     *  Inline so retry storms can poll without the full enqueue()
+     *  call — enqueue() fails for exactly this condition. */
+    bool
+    queueFull(Request::Type type) const
+    {
+        return type == Request::Type::kRead
+                   ? read_q_.size() >= cfg_.read_queue_depth
+                   : write_q_.size() >= cfg_.write_queue_depth;
+    }
+
     /** Convenience overload for lvalue requests (copies). */
     bool
     enqueue(const Request &req)
@@ -155,7 +165,7 @@ class MemoryController final : public dram::AlertSink
     static bool bankFilterThunk(const void *ctx, const Address &addr);
     Tick computeNextWake(Tick now);
     void issueAndAccount(dram::Command cmd, QueueEntry &entry, Tick now);
-    std::deque<QueueEntry> &activeQueue();
+    RequestQueue &activeQueue();
     bool servingWrites();
     void notify(PreventiveEvent ev, Tick start, Tick end,
                 const Address &addr);
@@ -170,10 +180,20 @@ class MemoryController final : public dram::AlertSink
     NullControllerDefense null_defense_;
     Listener listener_;
 
-    std::deque<QueueEntry> read_q_;
-    std::deque<QueueEntry> write_q_;
+    RequestQueue read_q_;
+    RequestQueue write_q_;
     std::uint64_t next_order_ = 0;
     bool draining_writes_ = false;
+
+    /**
+     * pick() result carried from serveQueues() to computeNextWake()
+     * within one tick(). Valid only when serveQueues() ran this tick
+     * and issued nothing: then neither the queues nor the bank state
+     * changed, so the wake-up computation can reuse the decision
+     * instead of re-scanning the queue. Cleared at every tick() entry.
+     */
+    std::optional<SchedDecision> idle_pick_;
+    bool idle_pick_valid_ = false;
 
     Mode mode_ = Mode::kNormal;
     Tick next_cmd_at_ = 0;

@@ -32,11 +32,12 @@ nextCommandFor(const Request &req, RowStatus status)
 }
 
 std::optional<SchedDecision>
-FrFcfsScheduler::pick(const std::deque<QueueEntry> &queue,
+FrFcfsScheduler::pick(const RequestQueue &queue,
                       const dram::DramChannel &chan,
                       const BankFilter &blocked, Tick now) const
 {
-    if (queue.empty())
+    const std::size_t n = queue.size();
+    if (n == 0)
         return std::nullopt;
 
     // Pass 1: classify every entry once (row status is cached in
@@ -46,43 +47,58 @@ FrFcfsScheduler::pick(const std::deque<QueueEntry> &queue,
     // its open row -- only new activations must wait, mirroring DDR5
     // RAA semantics where the open row remains usable until the RFM is
     // slotted in.
+    //
+    // The scan walks the queue's packed (flat bank, row, order)
+    // mirrors against the channel's packed open-row array; the full
+    // 130-byte entries stay cold until a decision is made.
     constexpr std::uint8_t kUnusable = 0xff;
-    status_.resize(queue.size());
+    status_.resize(n);
     std::fill(oldest_nonhit_.begin(), oldest_nonhit_.end(),
               ~std::uint64_t{0});
+
+    const std::int32_t *open_rows = chan.openRows();
+    const std::uint32_t *fbs = queue.flatBanks();
+    const std::uint32_t *rows = queue.rows();
+    const std::uint64_t *orders = queue.orders();
+    const bool any_blocked = blocked.fn != nullptr;
 
     std::optional<std::size_t> best_hit;
     std::optional<std::size_t> oldest_any;
 
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-        const auto &e = queue[i];
-        const RowStatus st = chan.rowStatus(e.req.addr);
-        if (st != RowStatus::kHit && blocked(e.req.addr)) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t open = open_rows[fbs[i]];
+        const RowStatus st =
+            open == dram::DramChannel::kNoRow
+                ? RowStatus::kEmpty
+                : (open == static_cast<std::int32_t>(rows[i])
+                       ? RowStatus::kHit
+                       : RowStatus::kConflict);
+        if (st != RowStatus::kHit && any_blocked &&
+            blocked(queue[i].req.addr)) {
             status_[i] = kUnusable;
             continue;
         }
         status_[i] = static_cast<std::uint8_t>(st);
-        if (!oldest_any || queue[*oldest_any].order > e.order)
+        if (!oldest_any || orders[*oldest_any] > orders[i])
             oldest_any = i;
         if (st != RowStatus::kHit) {
-            const auto fb = org_.flatOf(e.req.addr);
-            oldest_nonhit_[fb] = std::min(oldest_nonhit_[fb], e.order);
+            oldest_nonhit_[fbs[i]] =
+                std::min(oldest_nonhit_[fbs[i]], orders[i]);
         }
     }
 
     // Pass 2: oldest row-hit whose bank's streak is under the cap,
     // unless an older non-hit request waits on the same bank past the
     // cap.
-    for (std::size_t i = 0; i < queue.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
         if (status_[i] != static_cast<std::uint8_t>(RowStatus::kHit))
             continue;
-        const auto &e = queue[i];
-        const auto fb = org_.flatOf(e.req.addr);
+        const auto fb = fbs[i];
         const bool capped = hit_streak_[fb] >= cap_ &&
-                            oldest_nonhit_[fb] < e.order;
+                            oldest_nonhit_[fb] < orders[i];
         if (capped)
             continue;
-        if (!best_hit || queue[*best_hit].order > e.order)
+        if (!best_hit || orders[*best_hit] > orders[i])
             best_hit = i;
     }
 

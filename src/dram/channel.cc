@@ -8,22 +8,25 @@ namespace leaky::dram {
 
 DramChannel::DramChannel(const DramConfig &cfg)
     : cfg_(cfg), hooks_(&null_hooks_),
+      open_row_(cfg.org.totalBanks(), kNoRow),
       banks_(cfg.org.totalBanks()),
       groups_(cfg.org.ranks * cfg.org.bankgroups),
       ranks_(cfg.org.ranks),
+      open_count_(cfg.org.ranks, 0),
+      rank_ready_(cfg.org.ranks, 0),
       cmd_counts_(kNumCommands, 0)
 {
     for (auto &rank : ranks_)
         rank.act_window.assign(4, 0);
 }
 
-DramChannel::BankState &
+DramChannel::BankTiming &
 DramChannel::bank(const Address &a)
 {
     return banks_[cfg_.org.flatOf(a)];
 }
 
-const DramChannel::BankState &
+const DramChannel::BankTiming &
 DramChannel::bank(const Address &a) const
 {
     return banks_[cfg_.org.flatOf(a)];
@@ -47,39 +50,42 @@ DramChannel::bump(Tick &slot, Tick value)
     slot = std::max(slot, value);
 }
 
+void
+DramChannel::markOpen(std::uint32_t fb, std::uint32_t rank,
+                      std::uint32_t row)
+{
+    open_row_[fb] = static_cast<std::int32_t>(row);
+    open_count_[rank] += 1;
+    banks_[fb].closed_at = sim::kTickMax; // open bank is never REF-ready
+}
+
+void
+DramChannel::markClosed(std::uint32_t fb, std::uint32_t rank,
+                        Tick closed_at)
+{
+    open_row_[fb] = kNoRow;
+    open_count_[rank] -= 1;
+    banks_[fb].closed_at = closed_at;
+    bump(rank_ready_[rank], closed_at);
+}
+
 std::int32_t
 DramChannel::openRow(const Address &addr) const
 {
-    return bank(addr).open_row;
+    return open_row_[cfg_.org.flatOf(addr)];
 }
 
 RowStatus
 DramChannel::rowStatus(const Address &addr) const
 {
-    const auto &b = bank(addr);
-    if (b.open_row == kNoRow)
-        return RowStatus::kEmpty;
-    return b.open_row == static_cast<std::int32_t>(addr.row)
-               ? RowStatus::kHit
-               : RowStatus::kConflict;
-}
-
-bool
-DramChannel::allBanksClosed(std::uint32_t rank) const
-{
-    const auto per_rank = cfg_.org.banksPerRank();
-    for (std::uint32_t i = 0; i < per_rank; ++i) {
-        if (banks_[rank * per_rank + i].open_row != kNoRow)
-            return false;
-    }
-    return true;
+    return rowStatusFlat(cfg_.org.flatOf(addr), addr.row);
 }
 
 bool
 DramChannel::sameBankClosed(std::uint32_t rank, std::uint32_t bank_idx) const
 {
     for (std::uint32_t bg = 0; bg < cfg_.org.bankgroups; ++bg) {
-        if (banks_[cfg_.org.flatBank(rank, bg, bank_idx)].open_row != kNoRow)
+        if (open_row_[cfg_.org.flatBank(rank, bg, bank_idx)] != kNoRow)
             return false;
     }
     return true;
@@ -109,11 +115,13 @@ DramChannel::earliestIssue(Command cmd, const Address &addr) const
         return std::max(b.next_pre, r.busy_until);
       case Command::kPreAll: {
         Tick earliest = r.busy_until;
+        if (open_count_[addr.rank] == 0)
+            return earliest;
         const auto per_rank = cfg_.org.banksPerRank();
         for (std::uint32_t i = 0; i < per_rank; ++i) {
-            const auto &bs = banks_[addr.rank * per_rank + i];
-            if (bs.open_row != kNoRow)
-                earliest = std::max(earliest, bs.next_pre);
+            const auto fb = addr.rank * per_rank + i;
+            if (open_row_[fb] != kNoRow)
+                earliest = std::max(earliest, banks_[fb].next_pre);
         }
         return earliest;
       }
@@ -124,14 +132,13 @@ DramChannel::earliestIssue(Command cmd, const Address &addr) const
         return std::max({b.next_wr, g.next_wr, chan_next_wr_,
                          r.busy_until});
       case Command::kRef:
-      case Command::kRfmAll: {
-        Tick earliest = r.busy_until;
-        const auto per_rank = cfg_.org.banksPerRank();
-        for (std::uint32_t i = 0; i < per_rank; ++i)
-            earliest = std::max(earliest,
-                                banks_[addr.rank * per_rank + i].closed_at);
-        return earliest;
-      }
+      case Command::kRfmAll:
+        // An open bank holds closed_at = kTickMax, so the old bank walk
+        // reported "never" while any bank was open; the O(1) running
+        // max keeps that contract through the open-count gate.
+        if (open_count_[addr.rank] != 0)
+            return sim::kTickMax;
+        return std::max(r.busy_until, rank_ready_[addr.rank]);
       case Command::kRfmSameBank: {
         Tick earliest = r.busy_until;
         for (std::uint32_t bg = 0; bg < cfg_.org.bankgroups; ++bg) {
@@ -195,17 +202,17 @@ DramChannel::issue(Command cmd, const Address &addr, Tick now,
 void
 DramChannel::issueAct(const Address &addr, Tick now)
 {
-    auto &b = bank(addr);
-    LEAKY_ASSERT(b.open_row == kNoRow, "ACT to open bank %s",
+    const auto fb = cfg_.org.flatOf(addr);
+    auto &b = banks_[fb];
+    LEAKY_ASSERT(open_row_[fb] == kNoRow, "ACT to open bank %s",
                  addr.str().c_str());
     const Timing &t = cfg_.timing;
 
-    b.open_row = static_cast<std::int32_t>(addr.row);
+    markOpen(fb, addr.rank, addr.row);
     bump(b.next_rd, now + t.tRCD);
     bump(b.next_wr, now + t.tRCD);
     bump(b.next_pre, now + t.tRAS);
     bump(b.next_act, now + t.tRC);
-    b.closed_at = sim::kTickMax; // open bank is never REF-ready
 
     bump(group(addr).next_act, now + t.tRRD_L);
     auto &r = ranks_[addr.rank];
@@ -220,15 +227,14 @@ DramChannel::issueAct(const Address &addr, Tick now)
 void
 DramChannel::issuePre(const Address &addr, Tick now)
 {
-    auto &b = bank(addr);
-    LEAKY_ASSERT(b.open_row != kNoRow, "PRE to closed bank %s",
+    const auto fb = cfg_.org.flatOf(addr);
+    LEAKY_ASSERT(open_row_[fb] != kNoRow, "PRE to closed bank %s",
                  addr.str().c_str());
     Address closing = addr;
-    closing.row = static_cast<std::uint32_t>(b.open_row);
+    closing.row = static_cast<std::uint32_t>(open_row_[fb]);
 
-    b.open_row = kNoRow;
-    b.closed_at = now + cfg_.timing.tRP;
-    bump(b.next_act, now + cfg_.timing.tRP);
+    markClosed(fb, addr.rank, now + cfg_.timing.tRP);
+    bump(banks_[fb].next_act, now + cfg_.timing.tRP);
 
     hooks_->onPrecharge(closing, now);
 }
@@ -238,19 +244,18 @@ DramChannel::issuePreAll(std::uint32_t rank, Tick now)
 {
     const auto per_rank = cfg_.org.banksPerRank();
     for (std::uint32_t i = 0; i < per_rank; ++i) {
-        auto &b = banks_[rank * per_rank + i];
-        if (b.open_row == kNoRow)
+        const auto fb = rank * per_rank + i;
+        if (open_row_[fb] == kNoRow)
             continue;
         Address closing;
         closing.rank = rank;
         closing.bankgroup = i / cfg_.org.banks_per_group;
         closing.bank = i % cfg_.org.banks_per_group;
-        closing.row = static_cast<std::uint32_t>(b.open_row);
-        closing.flat_bank = rank * per_rank + i;
-        closing.flat_group = closing.flat_bank / cfg_.org.banks_per_group;
-        b.open_row = kNoRow;
-        b.closed_at = now + cfg_.timing.tRP;
-        bump(b.next_act, now + cfg_.timing.tRP);
+        closing.row = static_cast<std::uint32_t>(open_row_[fb]);
+        closing.flat_bank = fb;
+        closing.flat_group = fb / cfg_.org.banks_per_group;
+        markClosed(fb, rank, now + cfg_.timing.tRP);
+        bump(banks_[fb].next_act, now + cfg_.timing.tRP);
         hooks_->onPrecharge(closing, now);
     }
 }
@@ -258,8 +263,9 @@ DramChannel::issuePreAll(std::uint32_t rank, Tick now)
 Tick
 DramChannel::issueRead(const Address &addr, Tick now)
 {
-    auto &b = bank(addr);
-    LEAKY_ASSERT(b.open_row == static_cast<std::int32_t>(addr.row),
+    const auto fb = cfg_.org.flatOf(addr);
+    auto &b = banks_[fb];
+    LEAKY_ASSERT(open_row_[fb] == static_cast<std::int32_t>(addr.row),
                  "RD to wrong/closed row in %s", addr.str().c_str());
     const Timing &t = cfg_.timing;
 
@@ -275,8 +281,9 @@ DramChannel::issueRead(const Address &addr, Tick now)
 Tick
 DramChannel::issueWrite(const Address &addr, Tick now)
 {
-    auto &b = bank(addr);
-    LEAKY_ASSERT(b.open_row == static_cast<std::int32_t>(addr.row),
+    const auto fb = cfg_.org.flatOf(addr);
+    auto &b = banks_[fb];
+    LEAKY_ASSERT(open_row_[fb] == static_cast<std::int32_t>(addr.row),
                  "WR to wrong/closed row in %s", addr.str().c_str());
     const Timing &t = cfg_.timing;
 
@@ -311,12 +318,14 @@ DramChannel::issueRfm(Command kind, const Address &addr, Tick now,
                      "RFMab with open banks on rank %u", addr.rank);
         r.busy_until = now + latency;
     } else if (kind == Command::kRfmOneBank || kind == Command::kVrr) {
-        auto &b = bank(addr);
-        LEAKY_ASSERT(b.open_row == kNoRow,
+        const auto fb = cfg_.org.flatOf(addr);
+        auto &b = banks_[fb];
+        LEAKY_ASSERT(open_row_[fb] == kNoRow,
                      "%s with open target bank %s", commandName(kind),
                      addr.str().c_str());
         bump(b.next_act, now + latency);
         bump(b.closed_at, now + latency);
+        bump(rank_ready_[addr.rank], b.closed_at);
     } else {
         LEAKY_ASSERT(sameBankClosed(addr.rank, addr.bank),
                      "RFMsb with open target banks on rank %u", addr.rank);
@@ -325,6 +334,7 @@ DramChannel::issueRfm(Command kind, const Address &addr, Tick now,
             auto &b = banks_[cfg_.org.flatBank(addr.rank, bg, addr.bank)];
             bump(b.next_act, now + latency);
             bump(b.closed_at, now + latency);
+            bump(rank_ready_[addr.rank], b.closed_at);
         }
     }
     hooks_->onRfm(kind, addr, during_backoff, now);

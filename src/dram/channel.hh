@@ -41,11 +41,36 @@ class DramChannel
     /** Currently open row of a bank, or kNoRow. */
     std::int32_t openRow(const Address &addr) const;
 
+    /**
+     * Packed per-flat-bank open-row array (kNoRow when precharged).
+     * The FR-FCFS scan reads this directly: one contiguous int32 per
+     * bank, so classifying a full 64-entry queue touches a handful of
+     * cache lines instead of one 60-byte bank object per entry.
+     */
+    const std::int32_t *openRows() const { return open_row_.data(); }
+
+    /** rowStatus() for a pre-flattened bank index (scan hot path). */
+    RowStatus
+    rowStatusFlat(std::uint32_t flat_bank, std::uint32_t row) const
+    {
+        const std::int32_t open = open_row_[flat_bank];
+        if (open == kNoRow)
+            return RowStatus::kEmpty;
+        return open == static_cast<std::int32_t>(row)
+                   ? RowStatus::kHit
+                   : RowStatus::kConflict;
+    }
+
     /** Classify an access against the current row-buffer state. */
     RowStatus rowStatus(const Address &addr) const;
 
-    /** True when every bank of @p rank is precharged. */
-    bool allBanksClosed(std::uint32_t rank) const;
+    /** True when every bank of @p rank is precharged (O(1): the
+     *  channel keeps a per-rank open-bank count). */
+    bool
+    allBanksClosed(std::uint32_t rank) const
+    {
+        return open_count_[rank] == 0;
+    }
 
     /** True when bank @p bank_idx (within-group index) is closed in all
      * bank groups of @p rank (precondition for RFMsb). */
@@ -74,14 +99,19 @@ class DramChannel
     std::uint64_t commandCount(Command cmd) const;
 
   private:
-    struct BankState {
-        std::int32_t open_row = kNoRow;
+    /**
+     * Per-bank timing state, split from the open-row array (SoA): the
+     * scheduler scan only ever needs open rows, while these fields are
+     * touched once per issued command. Keeping them out of the packed
+     * scan array means the scan never drags timing ticks into cache.
+     */
+    struct BankTiming {
         Tick next_act = 0;
         Tick next_pre = 0;
         Tick next_rd = 0;
         Tick next_wr = 0;
         /** Earliest tick the bank counts as fully precharged (for
-         *  REF/RFM preconditions). */
+         *  REF/RFM preconditions). kTickMax while the bank is open. */
         Tick closed_at = 0;
     };
 
@@ -99,12 +129,17 @@ class DramChannel
         std::uint64_t acts_seen = 0; // tFAW applies from the 4th ACT on.
     };
 
-    BankState &bank(const Address &a);
-    const BankState &bank(const Address &a) const;
+    BankTiming &bank(const Address &a);
+    const BankTiming &bank(const Address &a) const;
     GroupState &group(const Address &a);
     const GroupState &group(const Address &a) const;
 
     static void bump(Tick &slot, Tick value);
+
+    /** Mark flat bank @p fb open on @p row (maintains the rank count). */
+    void markOpen(std::uint32_t fb, std::uint32_t rank, std::uint32_t row);
+    /** Mark flat bank @p fb precharged, ready again at @p closed_at. */
+    void markClosed(std::uint32_t fb, std::uint32_t rank, Tick closed_at);
 
     void issueAct(const Address &addr, Tick now);
     void issuePre(const Address &addr, Tick now);
@@ -119,9 +154,23 @@ class DramChannel
     DeviceHooks *hooks_;
     NullDeviceHooks null_hooks_;
 
-    std::vector<BankState> banks_;   // [rank][bg][bank] flattened.
-    std::vector<GroupState> groups_; // [rank][bg] flattened.
+    // Bank state lives in SoA form: the packed open-row array feeds
+    // the scheduler scan, the timing array feeds earliestIssue/issue.
+    std::vector<std::int32_t> open_row_;  // [rank][bg][bank] flattened.
+    std::vector<BankTiming> banks_;       // Same index space.
+    std::vector<GroupState> groups_;      // [rank][bg] flattened.
     std::vector<RankState> ranks_;
+    /** Open banks per rank: allBanksClosed() without a bank walk. */
+    std::vector<std::uint32_t> open_count_;
+    /**
+     * Per rank, running max over every closed_at value ever assigned
+     * to one of its banks. Each bank's successive close ticks are
+     * nondecreasing (time advances; RFM windows only bump upward), so
+     * once all banks are closed this equals max(closed_at) over the
+     * rank — the REF/RFMab readiness tick — without scanning banks.
+     * Open banks are excluded; callers gate on allBanksClosed().
+     */
+    std::vector<Tick> rank_ready_;
 
     // Channel-wide data-bus constraints.
     Tick chan_next_rd_ = 0;

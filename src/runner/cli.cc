@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -118,7 +119,8 @@ cmdList(int argc, char **argv)
 void
 addReproFlags(FlagParser &parser, std::string *fig, unsigned *threads,
               bool *smoke, bool *full, std::uint64_t *seed,
-              std::string *out_dir)
+              std::string *out_dir, bool *update_golden,
+              std::string *golden_dir)
 {
     parser.addString("fig", fig,
                      "figure to reproduce, or 'all' (see `list`)");
@@ -128,6 +130,55 @@ addReproFlags(FlagParser &parser, std::string *fig, unsigned *threads,
     parser.addBool("full", full, "paper scale (hours of simulation)");
     parser.addUint64("seed", seed, "base seed (0 = figure default)");
     parser.addString("out", out_dir, "output directory for CSVs");
+    parser.addBool("update-golden", update_golden,
+                   "regenerate the smoke-scale golden CSVs the "
+                   "differential test compares against (forces "
+                   "--smoke, default seed)");
+    parser.addString("golden-dir", golden_dir,
+                     "where golden CSVs live (with --update-golden)");
+}
+
+// Regenerate `<golden_dir>/<name>.csv` for the selected figures and
+// delete stale goldens that no longer name a registered figure, so
+// `tests/test_golden_figures.cc` and tools/check_docs.py stay in sync
+// with the registry by construction.
+int
+updateGoldens(const std::string &fig_name, const RunOptions &opts,
+              const std::string &golden_dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<const Figure *> selected;
+    if (fig_name.empty() || fig_name == "all") {
+        for (const auto &figure : figures())
+            selected.push_back(&figure);
+    } else {
+        const Figure *figure = findFigure(fig_name);
+        if (figure == nullptr)
+            return usageError("unknown figure '" + fig_name + "'",
+                              "repro");
+        selected.push_back(figure);
+    }
+
+    fs::create_directories(golden_dir);
+    for (const Figure *figure : selected) {
+        const std::string path = goldenPath(golden_dir, *figure);
+        writeFile(path, goldenCsv(*figure, opts.threads));
+        std::printf("golden: wrote %s\n", path.c_str());
+    }
+
+    if (fig_name.empty() || fig_name == "all") {
+        for (const auto &entry : fs::directory_iterator(golden_dir)) {
+            if (entry.path().extension() != ".csv")
+                continue;
+            const std::string stem = entry.path().stem().string();
+            if (findFigure(stem) == nullptr) {
+                fs::remove(entry.path());
+                std::printf("golden: removed stale %s\n",
+                            entry.path().string().c_str());
+            }
+        }
+    }
+    return kOk;
 }
 
 int
@@ -156,12 +207,17 @@ cmdRepro(int argc, char **argv)
 {
     std::string fig_name;
     RunOptions opts;
+    bool update_golden = false;
+    std::string golden_dir = "tests/golden";
     FlagParser parser;
     addReproFlags(parser, &fig_name, &opts.threads, &opts.smoke,
-                  &opts.full, &opts.seed, &opts.out_dir);
+                  &opts.full, &opts.seed, &opts.out_dir,
+                  &update_golden, &golden_dir);
     std::string error;
     if (!parser.parse(argc, argv, &error))
         return usageError(error, "repro");
+    if (update_golden)
+        return updateGoldens(fig_name, opts, golden_dir);
     if (fig_name.empty())
         return usageError("repro needs --fig <name> (or --fig all)",
                           "repro");
@@ -447,11 +503,11 @@ cmdHelp(int argc, char **argv)
     }
     FlagParser parser;
     if (topic == "repro") {
-        std::string s1, s2;
+        std::string s1, s2, s3;
         unsigned u = 0;
-        bool b1 = false, b2 = false;
+        bool b1 = false, b2 = false, b3 = false;
         std::uint64_t seed = 0;
-        addReproFlags(parser, &s1, &u, &b1, &b2, &seed, &s2);
+        addReproFlags(parser, &s1, &u, &b1, &b2, &seed, &s2, &b3, &s3);
         std::printf("usage: leakyhammer repro --fig <name> [flags]\n%s",
                     parser.helpText().c_str());
         return kOk;

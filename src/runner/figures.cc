@@ -93,4 +93,21 @@ reproduceFigure(const Figure &figure, const RunOptions &opts)
     return outcome;
 }
 
+std::string
+goldenCsv(const Figure &figure, unsigned threads)
+{
+    RunOptions opts;
+    opts.threads = threads;
+    opts.smoke = true;
+    const SweepSpec spec = figure.make(opts);
+    return toCsv(runSweep(spec, threads));
+}
+
+std::string
+goldenPath(const std::string &golden_dir, const Figure &figure)
+{
+    return (std::filesystem::path(golden_dir) / (figure.name + ".csv"))
+        .string();
+}
+
 } // namespace leaky::runner

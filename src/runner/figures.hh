@@ -59,6 +59,20 @@ const Figure *findFigure(const std::string &name);
 FigureOutcome reproduceFigure(const Figure &figure,
                               const RunOptions &opts);
 
+/**
+ * The figure's smoke-scale CSV, exactly as the golden differential
+ * harness stores it: forced to Scale::kSmoke and the figure's default
+ * seed, rendered with toCsv(). Because runSweep() merges rows in
+ * job-index order, the bytes are identical for any @p threads — the
+ * golden test exploits that to compare 1-thread and 4-thread runs
+ * against one checked-in file.
+ */
+std::string goldenCsv(const Figure &figure, unsigned threads);
+
+/** `<golden_dir>/<figure.name>.csv` — the golden artifact path. */
+std::string goldenPath(const std::string &golden_dir,
+                       const Figure &figure);
+
 } // namespace leaky::runner
 
 #endif // LEAKY_RUNNER_FIGURES_HH

@@ -14,16 +14,15 @@ EventQueue::~EventQueue()
             r.bound->queue_ = nullptr;
         }
     }
-    // Slab destruction runs ~SmallFn on any undelivered one-shots.
+    // fn_slab_ destruction runs ~SmallFn on any undelivered one-shots.
 }
 
 void
-EventQueue::checkFuture(Tick when) const
+EventQueue::failPast(Tick when) const
 {
-    LEAKY_ASSERT(when >= now_,
-                 "scheduling into the past (%llu < %llu)",
-                 static_cast<unsigned long long>(when),
-                 static_cast<unsigned long long>(now_));
+    panic("scheduling into the past (%llu < %llu)",
+          static_cast<unsigned long long>(when),
+          static_cast<unsigned long long>(now_));
 }
 
 std::uint32_t
@@ -35,14 +34,42 @@ EventQueue::claimSlot()
     Record &r = record(idx);
     free_head_ = r.next_free;
     r.next_free = kLiveMark;
-    r.bound = nullptr;
+    // Free-list invariant: bound == nullptr, in_wheel == false and
+    // has_fn == false already hold (freeSlot/growPool established them),
+    // so a claim writes nothing but the list link.
     return idx;
 }
 
 void
 EventQueue::commitSlot(std::uint32_t idx, Tick when)
 {
-    pushHeap(when, next_seq_++, idx, record(idx).gen);
+    // Keep the wheel's reference time current first, so the placement
+    // of every wheel entry stays a pure function of (when, wheel_now_)
+    // — cancel() relies on recomputing it. The level-0 case (now_ in
+    // the same 256-tick block, no placement changes) stays inline.
+    if (now_ > wheel_now_) {
+        if ((now_ ^ wheel_now_) < kWheelSlots)
+            wheel_now_ = now_;
+        else
+            advanceWheel(now_);
+    }
+    Record &r = record(idx);
+    const std::uint64_t seq = next_seq_++;
+    const int level =
+        when >= wheel_now_ ? wheelLevel(when ^ wheel_now_) : kWheelLevels;
+    if (level < kWheelLevels) {
+        r.when = when;
+        r.seq = seq;
+        wheelInsertAt(idx, level);
+        stats_.wheel_events += 1;
+    } else {
+        // Beyond the wheel horizon (2^48 ticks out), or below the
+        // wheel's reference time after a cascade-on-query advanced it
+        // past now(). The heap carries these; the pop path merges the
+        // two sources by exact (tick, seq).
+        pushHeap(when, seq, idx, r.gen);
+        stats_.heap_events += 1;
+    }
     live_ += 1;
 }
 
@@ -60,7 +87,10 @@ void
 EventQueue::freeSlot(std::uint32_t idx)
 {
     Record &r = record(idx);
-    r.fn.reset();
+    if (r.has_fn) {
+        fn_slab_[idx].reset();
+        r.has_fn = false;
+    }
     r.bound = nullptr;
     r.gen += 1;
     r.next_free = free_head_;
@@ -73,6 +103,12 @@ EventQueue::growPool()
     const std::size_t base = slab_.size();
     LEAKY_ASSERT(base + kChunkSize < kLiveMark, "event pool exhausted");
     slab_.resize(base + kChunkSize);
+    fn_slab_.resize(base + kChunkSize);
+    // Give the heap fallback a floor while already allocating, so the
+    // occasional below-wheel_now_ event does not break the steady-state
+    // zero-allocation invariant by growing heap_ one doubling at a time.
+    if (heap_.capacity() < kWheelSlots)
+        heap_.reserve(kWheelSlots);
     stats_.pool_chunks += 1;
     // Link the fresh records onto the free list, preserving index order.
     for (std::size_t i = base + kChunkSize; i > base; --i) {
@@ -123,6 +159,194 @@ EventQueue::popHeap() const
     heap_[hole] = last;
 }
 
+// ------------------------------------------------------- timing wheel
+
+void
+EventQueue::wheelInsert(std::uint32_t idx)
+{
+    wheelInsertAt(idx, wheelLevel(record(idx).when ^ wheel_now_));
+}
+
+void
+EventQueue::wheelInsertAt(std::uint32_t idx, int level)
+{
+    Record &r = record(idx);
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(r.when >> (kWheelBits * level)) &
+        (kWheelSlots - 1);
+    WheelSlot &s = wheel_[level][slot];
+    r.wheel_prev = s.tail;
+    r.wheel_next = kNoFreeSlot;
+    if (s.tail == kNoFreeSlot)
+        s.head = idx;
+    else
+        record(s.tail).wheel_next = idx;
+    s.tail = idx;
+    setOcc(wheel_occupied_[level], slot);
+    r.in_wheel = true;
+    wheel_live_ += 1;
+}
+
+void
+EventQueue::wheelRemove(std::uint32_t idx)
+{
+    Record &r = record(idx);
+    const int level = wheelLevel(r.when ^ wheel_now_);
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(r.when >> (kWheelBits * level)) &
+        (kWheelSlots - 1);
+    WheelSlot &s = wheel_[level][slot];
+    if (r.wheel_prev != kNoFreeSlot)
+        record(r.wheel_prev).wheel_next = r.wheel_next;
+    else
+        s.head = r.wheel_next;
+    if (r.wheel_next != kNoFreeSlot)
+        record(r.wheel_next).wheel_prev = r.wheel_prev;
+    else
+        s.tail = r.wheel_prev;
+    if (s.head == kNoFreeSlot)
+        clearOcc(wheel_occupied_[level], slot);
+    r.in_wheel = false;
+    wheel_live_ -= 1;
+}
+
+void
+EventQueue::advanceWheel(Tick t)
+{
+    if (t <= wheel_now_)
+        return;
+    const int level = wheelLevel(wheel_now_ ^ t);
+    if (level >= kWheelLevels) {
+        // Crossing a whole wheel horizon: any entry still linked would
+        // have a deadline in the past, so the wheel must be empty.
+        LEAKY_DCHECK(wheel_live_ == 0,
+                     "wheel horizon crossed with %zu live entries",
+                     wheel_live_);
+        wheel_now_ = t;
+        return;
+    }
+    wheel_now_ = t;
+    if (level == 0)
+        return; // Same level-1 block: every placement is unchanged.
+#ifdef LEAKY_DCHECKS_ENABLED
+    // Every slot this advance skips over lies strictly in the past of
+    // @p t; the caller guarantees no live deadline is below @p t, so
+    // all levels under the cascade level must already be empty.
+    for (int l = 0; l < level; ++l)
+        LEAKY_DCHECK(lowestSlot(wheel_occupied_[l]) < 0,
+                     "advance over non-empty wheel level %d", l);
+#endif
+    // Exactly one slot becomes "current" at the cascade level: the one
+    // containing @p t. Its entries now agree with wheel_now_ above
+    // that level, so each re-inserts at a strictly lower level — and
+    // the targets are empty (see the DCHECK above), which keeps every
+    // slot list in ascending seq order by construction.
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(t >> (kWheelBits * level)) &
+        (kWheelSlots - 1);
+    WheelSlot &s = wheel_[level][slot];
+    std::uint32_t idx = s.head;
+    if (idx == kNoFreeSlot)
+        return;
+    s.head = kNoFreeSlot;
+    s.tail = kNoFreeSlot;
+    clearOcc(wheel_occupied_[level], slot);
+    // Splice maximal runs that share a destination slot instead of
+    // re-linking entry by entry: within a run the next/prev links are
+    // already correct, so only the run endpoints and the destination
+    // tail need writes. The common case — a same-tick batch of
+    // timers cascading together — moves as one run, making a cascade
+    // O(runs) writes rather than O(entries).
+    while (idx != kNoFreeSlot) {
+        const std::uint32_t run_head = idx;
+        const Record &r = record(idx);
+        const int dl = wheelLevel(r.when ^ wheel_now_);
+        const std::uint32_t dslot =
+            static_cast<std::uint32_t>(r.when >> (kWheelBits * dl)) &
+            (kWheelSlots - 1);
+        std::uint32_t run_tail = idx;
+        std::uint64_t count = 1;
+        for (std::uint32_t n = r.wheel_next; n != kNoFreeSlot;
+             n = record(n).wheel_next) {
+            const Record &rn = record(n);
+            const int nl = wheelLevel(rn.when ^ wheel_now_);
+            if (nl != dl ||
+                (static_cast<std::uint32_t>(
+                     rn.when >> (kWheelBits * nl)) &
+                 (kWheelSlots - 1)) != dslot)
+                break;
+            run_tail = n;
+            count += 1;
+        }
+        const std::uint32_t after = record(run_tail).wheel_next;
+        WheelSlot &d = wheel_[dl][dslot];
+        record(run_head).wheel_prev = d.tail;
+        if (d.tail == kNoFreeSlot)
+            d.head = run_head;
+        else
+            record(d.tail).wheel_next = run_head;
+        record(run_tail).wheel_next = kNoFreeSlot;
+        d.tail = run_tail;
+        setOcc(wheel_occupied_[dl], dslot);
+        stats_.wheel_cascades += count;
+        idx = after;
+    }
+}
+
+std::uint32_t
+EventQueue::wheelHead(Tick cap, std::uint32_t *slot_out)
+{
+    while (wheel_live_ > 0) {
+        int level = 0;
+        int found = -1;
+        while (level < kWheelLevels &&
+               (found = lowestSlot(wheel_occupied_[level])) < 0)
+            ++level;
+        LEAKY_ASSERT(level < kWheelLevels,
+                     "wheel_live_ without occupancy");
+        const auto slot = static_cast<std::uint32_t>(found);
+        if (level == 0) {
+            *slot_out = slot;
+            return wheel_[0][slot].head;
+        }
+        // The earliest entry hides in this higher-level slot; its
+        // lower bound already tells us whether the heap top wins
+        // outright, in which case the cascade is deferred entirely.
+        const Tick span = Tick{1} << (kWheelBits * level);
+        const Tick base = (wheel_now_ & ~(span * kWheelSlots - 1)) |
+                          (Tick{slot} << (kWheelBits * level));
+        if (base > cap)
+            return kNoFreeSlot;
+        advanceWheel(base);
+    }
+    return kNoFreeSlot;
+}
+
+Tick
+EventQueue::wheelMinTick() const
+{
+    if (wheel_live_ == 0)
+        return kTickMax;
+    int level = 0;
+    int found = -1;
+    while (level < kWheelLevels &&
+           (found = lowestSlot(wheel_occupied_[level])) < 0)
+        ++level;
+    LEAKY_ASSERT(level < kWheelLevels, "wheel_live_ without occupancy");
+    const auto slot = static_cast<std::uint32_t>(found);
+    if (level == 0)
+        return (wheel_now_ & ~Tick{kWheelSlots - 1}) | slot;
+    // A higher-level slot only bounds its entries to a range; walk the
+    // (short) list for the exact minimum without cascading, so this
+    // stays const and allocation-free.
+    Tick best = kTickMax;
+    for (std::uint32_t idx = wheel_[level][slot].head;
+         idx != kNoFreeSlot; idx = record(idx).wheel_next)
+        if (record(idx).when < best)
+            best = record(idx).when;
+    return best;
+}
+
 bool
 EventQueue::skipDead() const
 {
@@ -153,6 +377,11 @@ EventQueue::cancel(EventHandle handle)
         r.bound->handle_ = kNoEvent;
         r.bound->queue_ = nullptr;
     }
+    // Wheel entries unlink eagerly (O(1) via the doubly-linked slot
+    // list) — the cascade empty-target invariant depends on cancelled
+    // entries never lingering. Heap entries stay lazy as before.
+    if (r.in_wheel)
+        wheelRemove(idx);
     freeSlot(idx);
     live_ -= 1;
     return true;
@@ -197,7 +426,27 @@ EventQueue::deschedule(Event &ev)
 Tick
 EventQueue::nextEventTick() const
 {
-    return skipDead() ? heap_.front().when : kTickMax;
+    const Tick heap_when = skipDead() ? heap_.front().when : kTickMax;
+    const Tick wheel_when = wheelMinTick();
+    return heap_when < wheel_when ? heap_when : wheel_when;
+}
+
+void
+EventQueue::runRecord(std::uint32_t idx)
+{
+    Record &r = record(idx);
+    if (Event *ev = r.bound) {
+        // Release the slot and clear the handle before invoking so the
+        // callback can immediately reschedule the same event.
+        freeSlot(idx);
+        ev->handle_ = kNoEvent;
+        ev->queue_ = nullptr;
+        ev->fn_(ev->ctx_);
+    } else {
+        SmallFn fn = std::move(fn_slab_[idx]);
+        freeSlot(idx);
+        fn();
+    }
 }
 
 void
@@ -205,40 +454,77 @@ EventQueue::runTop()
 {
     const HeapEntry top = heap_.front();
     popHeap();
-    Record &r = record(top.idx);
-
     now_ = top.when;
     live_ -= 1;
     stats_.events_run += 1;
+    runRecord(top.idx);
+}
 
-    if (Event *ev = r.bound) {
-        // Release the slot and clear the handle before invoking so the
-        // callback can immediately reschedule the same event.
-        freeSlot(top.idx);
-        ev->handle_ = kNoEvent;
-        ev->queue_ = nullptr;
-        ev->fn_(ev->ctx_);
+void
+EventQueue::runWheelHead(std::uint32_t idx, std::uint32_t slot)
+{
+    // Specialised unlink: the entry is known to be a level-0 slot
+    // head, so no level/slot recomputation and no prev relink.
+    Record &r = record(idx);
+    WheelSlot &s = wheel_[0][slot];
+    s.head = r.wheel_next;
+    if (r.wheel_next != kNoFreeSlot)
+        record(r.wheel_next).wheel_prev = kNoFreeSlot;
+    else
+        s.tail = kNoFreeSlot;
+    if (s.head == kNoFreeSlot)
+        clearOcc(wheel_occupied_[0], slot);
+    r.in_wheel = false;
+    wheel_live_ -= 1;
+    now_ = r.when;
+    live_ -= 1;
+    stats_.events_run += 1;
+    runRecord(idx);
+}
+
+bool
+EventQueue::runNext(Tick limit)
+{
+    const bool heap_ok = skipDead();
+    const Tick heap_when = heap_ok ? heap_.front().when : kTickMax;
+    std::uint32_t wslot = 0;
+    const std::uint32_t widx = wheelHead(heap_when, &wslot);
+    bool use_heap;
+    if (widx == kNoFreeSlot) {
+        if (!heap_ok)
+            return false;
+        use_heap = true;
+    } else if (!heap_ok) {
+        use_heap = false;
     } else {
-        SmallFn fn = std::move(r.fn);
-        freeSlot(top.idx);
-        fn();
+        // Both sources are live: the merge point of the global
+        // (tick, seq) order. A level-0 slot head is its tick's lowest
+        // seq, so this comparison is exact.
+        const Record &r = record(widx);
+        use_heap = heap_when != r.when ? heap_when < r.when
+                                       : heap_.front().seq < r.seq;
     }
+    const Tick when = use_heap ? heap_when : record(widx).when;
+    if (when > limit)
+        return false;
+    if (use_heap)
+        runTop();
+    else
+        runWheelHead(widx, wslot);
+    return true;
 }
 
 bool
 EventQueue::step()
 {
-    if (!skipDead())
-        return false;
-    runTop();
-    return true;
+    return runNext(kTickMax);
 }
 
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (skipDead() && heap_.front().when <= limit)
-        runTop();
+    while (runNext(limit)) {
+    }
     // All remaining events (if any) lie strictly after the limit, so the
     // clock can safely advance to it.
     if (limit != kTickMax && now_ < limit)

@@ -17,11 +17,31 @@
  *    (counted in KernelStats::one_shot_spills);
  *  - cancellation bumps the record's generation instead of erasing from
  *    a map; stale heap entries are skipped lazily at pop time.
+ *
+ * Ordering is maintained by two structures that agree on one global
+ * (tick, seq) total order:
+ *
+ *  - a hierarchical timing wheel (6 levels x 256 slots of 8 bits each,
+ *    covering any deadline within 2^48 ticks of the wheel's reference
+ *    time) gives O(1) schedule and cancel for the overwhelming
+ *    majority of events — controller self-clocks, refresh and ABO
+ *    timers, request retries;
+ *  - the binary heap remains as the fallback for deadlines outside
+ *    the wheel's range, and for events scheduled below the wheel's
+ *    reference time after it has been advanced ahead of now().
+ *
+ * The pop path merges both sources exactly: a level-0 wheel slot holds
+ * events of one identical tick in ascending seq order (appends and
+ * cascades both preserve insertion order), so comparing the slot head
+ * against the heap top by (tick, seq) reproduces the single-heap
+ * execution order bit for bit. See docs/ARCHITECTURE.md ("Controller
+ * hot loop") for the invariant argument.
  */
 
 #ifndef LEAKY_SIM_EVENT_QUEUE_HH
 #define LEAKY_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -218,6 +238,9 @@ class EventQueue
         std::uint64_t events_run = 0;      ///< Callbacks executed.
         std::uint64_t one_shot_spills = 0; ///< Captures too big for SBO.
         std::uint64_t pool_chunks = 0;     ///< Slab chunks allocated.
+        std::uint64_t wheel_events = 0;    ///< Scheduled via the wheel.
+        std::uint64_t heap_events = 0;     ///< Heap-fallback schedules.
+        std::uint64_t wheel_cascades = 0;  ///< Entries moved by cascades.
     };
 
     EventQueue() = default;
@@ -251,12 +274,13 @@ class EventQueue
         // if construction throws (e.g. bad_alloc on a spilled capture),
         // no live-but-empty record must be reachable.
         try {
-            if (!r.fn.emplace(std::forward<F>(fn)))
+            if (!fn_slab_[idx].emplace(std::forward<F>(fn)))
                 stats_.one_shot_spills += 1;
         } catch (...) {
             abortClaim(idx);
             throw;
         }
+        r.has_fn = true;
         commitSlot(idx, when);
         return makeHandle(idx, r.gen);
     }
@@ -312,18 +336,30 @@ class EventQueue
     static constexpr std::uint32_t kLiveMark = kNoFreeSlot - 1;
 
     /**
-     * One pooled occurrence: a heap slot's payload. Ordering keys
-     * (tick, seq) live only in the heap entry; the record holds the
-     * callable plus the generation that validates handles. gen and
-     * next_free lead so the staleness check in skipDead() touches the
-     * record's first cache line only.
+     * One pooled occurrence. For heap-routed events the ordering keys
+     * (tick, seq) live only in the heap entry; wheel-routed events
+     * carry them here, together with the intrusive doubly-linked slot
+     * list the wheel threads through the slab.
+     *
+     * The record is exactly one cache line; a one-shot's SmallFn
+     * payload lives in the parallel fn_slab_ (same index) and is only
+     * touched when has_fn says so. A member-bound event's whole
+     * schedule/cancel/run cycle therefore stays within this line — at
+     * thousands of pending timers (request-retry storms) that halves
+     * the slab working set versus embedding the 56-byte SmallFn.
      */
-    struct Record {
+    struct alignas(64) Record {
         std::uint32_t gen = 1;  ///< Bumped on free; validates handles.
         std::uint32_t next_free = kNoFreeSlot;
+        Tick when = 0;          ///< Wheel entries: the deadline.
+        std::uint64_t seq = 0;  ///< Wheel entries: global tie-break.
+        std::uint32_t wheel_next = kNoFreeSlot; ///< Slot list links.
+        std::uint32_t wheel_prev = kNoFreeSlot;
+        bool in_wheel = false;  ///< Eagerly cleared on cancel/run.
+        bool has_fn = false;    ///< fn_slab_[idx] holds a payload.
         Event *bound = nullptr; ///< Non-null for member-bound events.
-        SmallFn fn;             ///< One-shot callable otherwise.
     };
+    static_assert(sizeof(Record) == 64, "Record must stay one line");
 
     struct HeapEntry {
         Tick when;
@@ -348,8 +384,15 @@ class EventQueue
                (static_cast<EventHandle>(idx) + 1);
     }
 
-    /** Panic unless @p when is not in the past. */
-    void checkFuture(Tick when) const;
+    /** Panic unless @p when is not in the past. Inline so schedulers
+     *  pay only a compare on the hot path. */
+    void
+    checkFuture(Tick when) const
+    {
+        if (when < now_)
+            failPast(when);
+    }
+    [[noreturn]] void failPast(Tick when) const;
 
     /** Pop a free slot off the free list (growing the pool first if
      *  needed) and mark it live. No heap entry exists yet. */
@@ -373,6 +416,93 @@ class EventQueue
     /** Execute the heap top (which must be live). */
     void runTop();
 
+    // ---------------------------------------------------- timing wheel
+    // 8-bit levels: the paper-scale deltas that dominate the hot loop
+    // (retry intervals, CAS latencies, both in the tens of thousands of
+    // femtosecond-scale ticks) then sit one level up (256..65535) and
+    // cascade exactly once, instead of twice with 6-bit levels.
+    static constexpr int kWheelBits = 8;
+    static constexpr int kWheelLevels = 6;
+    static constexpr std::uint32_t kWheelSlots = 1u << kWheelBits;
+    static constexpr int kWheelWords = kWheelSlots / 64;
+    /** Per-level slot-occupancy bitmap (kWheelSlots bits). */
+    using OccMask = std::array<std::uint64_t, kWheelWords>;
+
+    struct WheelSlot {
+        std::uint32_t head = kNoFreeSlot;
+        std::uint32_t tail = kNoFreeSlot;
+    };
+
+    /** The wheel level an entry @p diff ticks of XOR distance away
+     *  belongs to: the highest differing 8-bit group vs wheel_now_.
+     *  kWheelLevels and up means "outside the wheel" (heap). */
+    static int
+    wheelLevel(Tick diff)
+    {
+        return diff == 0 ? 0 : (63 - __builtin_clzll(diff)) / kWheelBits;
+    }
+
+    /** Lowest set slot in @p m, or -1 when the level is empty. */
+    static int
+    lowestSlot(const OccMask &m)
+    {
+        for (int w = 0; w < kWheelWords; ++w)
+            if (m[w] != 0)
+                return w * 64 + __builtin_ctzll(m[w]);
+        return -1;
+    }
+
+    static void
+    setOcc(OccMask &m, std::uint32_t slot)
+    {
+        m[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    }
+
+    static void
+    clearOcc(OccMask &m, std::uint32_t slot)
+    {
+        m[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    }
+
+    /** Link @p idx at the tail of its slot under the current
+     *  wheel_now_ (record(idx).when must be >= wheel_now_). */
+    void wheelInsert(std::uint32_t idx);
+    /** Same with the level already computed by the caller. */
+    void wheelInsertAt(std::uint32_t idx, int level);
+    /** Eagerly unlink @p idx from its slot (O(1)). */
+    void wheelRemove(std::uint32_t idx);
+    /** Move the wheel's reference time forward to @p t, cascading the
+     *  one newly-current slot so every entry's (level, slot) placement
+     *  is again a pure function of (when, wheel_now_). All slots this
+     *  skips over are provably empty: no live entry's deadline may lie
+     *  below @p t when the caller advances. */
+    void advanceWheel(Tick t);
+    /**
+     * Index of the earliest wheel entry, cascading higher-level slots
+     * down until it sits in a level-0 slot (where list head == lowest
+     * seq of the earliest tick). Returns kNoFreeSlot when the wheel is
+     * empty or when its lower bound alone proves no wheel entry can
+     * run at or before @p cap (the heap top's tick) — in that case no
+     * cascade work is done.
+     */
+    std::uint32_t wheelHead(Tick cap, std::uint32_t *slot_out);
+    /** Exact earliest wheel tick without mutating (scans the first
+     *  occupied slot of the lowest non-empty level). */
+    Tick wheelMinTick() const;
+    /** Unlink the level-0 slot-@p slot head @p idx and execute it. */
+    void runWheelHead(std::uint32_t idx, std::uint32_t slot);
+    /** Execute record @p idx (slot is freed before invocation so the
+     *  callback can reschedule the same bound event). */
+    void runRecord(std::uint32_t idx);
+    /** Run the earliest of (wheel, heap) if its tick is <= @p limit.
+     *  @return false when nothing ran. */
+    bool runNext(Tick limit);
+
+    Tick wheel_now_ = 0; ///< Wheel reference time (may lead now_).
+    std::size_t wheel_live_ = 0;
+    std::array<OccMask, kWheelLevels> wheel_occupied_{};
+    std::array<std::array<WheelSlot, kWheelSlots>, kWheelLevels> wheel_{};
+
     Tick now_ = 0;
     std::uint64_t next_seq_ = 1;
     std::size_t live_ = 0;
@@ -383,6 +513,9 @@ class EventQueue
      * rare and steady-state scheduling allocation-free.
      */
     std::vector<Record> slab_;
+    /** One-shot payloads, parallel to slab_ (same index). Kept out of
+     *  Record so bound events never touch these lines (see Record). */
+    std::vector<SmallFn> fn_slab_;
     mutable std::vector<HeapEntry> heap_;
     KernelStats stats_;
 };

@@ -100,17 +100,40 @@ System::schedule(Tick delay, std::function<void()> fn)
     eq_.scheduleAfter(delay, std::move(fn));
 }
 
-void
-System::enqueueWithRetry(ctrl::Request req)
+System::PendingSlot &
+System::stashRequest(ctrl::Request &&req)
 {
-    auto &controller = *ctrls_[req.addr.channel];
-    if (controller.enqueue(std::move(req)))
+    if (pending_free_ == kNoSlot) {
+        pending_.emplace_back();
+        PendingSlot &fresh = pending_.back();
+        fresh.sys = this;
+        fresh.retry.bind(&fresh, [](void *ctx) {
+            auto *slot = static_cast<PendingSlot *>(ctx);
+            slot->sys->dispatchPending(*slot);
+        });
+        fresh.self = static_cast<std::uint32_t>(pending_.size() - 1);
+        fresh.next_free = kNoSlot;
+        pending_free_ = fresh.self;
+    }
+    PendingSlot &slot = pending_[pending_free_];
+    pending_free_ = slot.next_free;
+    slot.req = std::move(req);
+    return slot;
+}
+
+void
+System::dispatchPending(PendingSlot &slot)
+{
+    auto &controller = *ctrls_[slot.req.addr.channel];
+    if (controller.queueFull(slot.req.type)) {
+        eq_.scheduleAfter(slot.retry, cfg_.retry_interval);
         return;
-    // enqueue() only consumes the request on success.
-    eq_.scheduleAfter(cfg_.retry_interval,
-                      [this, req = std::move(req)]() mutable {
-                          enqueueWithRetry(std::move(req));
-                      });
+    }
+    const bool accepted = controller.enqueue(std::move(slot.req));
+    LEAKY_ASSERT(accepted, "enqueue failed with queue space available");
+    slot.req = ctrl::Request{};
+    slot.next_free = pending_free_;
+    pending_free_ = slot.self;
 }
 
 void
@@ -131,9 +154,8 @@ System::issueRead(std::uint64_t phys_addr, std::int32_t source,
                      [cb = std::move(cb), done,
                       frontend] { cb(done + frontend); });
     };
-    eq_.scheduleAfter(frontend, [this, req = std::move(req)]() mutable {
-        enqueueWithRetry(std::move(req));
-    });
+    PendingSlot &slot = stashRequest(std::move(req));
+    eq_.scheduleAfter(slot.retry, frontend);
 }
 
 void
@@ -144,10 +166,8 @@ System::issueWrite(std::uint64_t phys_addr, std::int32_t source)
     req.phys_addr = phys_addr;
     req.addr = mapper_.decode(phys_addr);
     req.source = source;
-    eq_.scheduleAfter(cfg_.frontend_latency,
-                      [this, req = std::move(req)]() mutable {
-                          enqueueWithRetry(std::move(req));
-                      });
+    PendingSlot &slot = stashRequest(std::move(req));
+    eq_.scheduleAfter(slot.retry, cfg_.frontend_latency);
 }
 
 } // namespace leaky::sys

@@ -9,6 +9,7 @@
 #ifndef LEAKY_SYS_SYSTEM_HH
 #define LEAKY_SYS_SYSTEM_HH
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -85,13 +86,41 @@ class System final : public MemoryPort
     const dram::AddressMapper &mapper() const override { return mapper_; }
 
   private:
-    void enqueueWithRetry(ctrl::Request req);
+    /**
+     * Requests waiting for controller-queue space live in this
+     * System-owned slab, not in their retry events. A full read queue
+     * used to make every 20 us retry heap-allocate a spilled lambda
+     * holding the whole Request (~100 bytes); now the Request is
+     * stashed once and every dispatch attempt reuses the slot's
+     * member-bound kernel Event — scheduling it stores only a
+     * (context, thunk) pair, so a retry storm is allocation-free after
+     * the first rejection and each retry's kernel round trip stays
+     * within one cache line of the event slab. Slots are recycled
+     * through a free list in LIFO order; a deque keeps their addresses
+     * stable for the Events bound to them.
+     */
+    struct PendingSlot {
+        sim::Event retry;   ///< Bound to dispatchPending(this slot).
+        System *sys = nullptr;
+        ctrl::Request req;
+        std::uint32_t self = 0; ///< Own index (deque: no ptr diff).
+        std::uint32_t next_free = kNoSlot;
+    };
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    PendingSlot &stashRequest(ctrl::Request &&req);
+    /** Try to hand the slot's request to its controller; keep
+     *  retrying on a full queue. The slot is freed only once the
+     *  enqueue lands. */
+    void dispatchPending(PendingSlot &slot);
 
     SystemConfig cfg_;
     sim::EventQueue eq_;
     dram::AddressMapper mapper_;
     std::vector<std::unique_ptr<ctrl::MemoryController>> ctrls_;
     std::vector<defense::DefenseBundle> bundles_;
+    std::deque<PendingSlot> pending_;
+    std::uint32_t pending_free_ = kNoSlot;
 };
 
 } // namespace leaky::sys

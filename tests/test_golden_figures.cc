@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Golden-CSV differential harness: every registered figure, reproduced
+ * at smoke scale, must be byte-identical to the CSV checked in under
+ * tests/golden/. This is the correctness contract for performance work
+ * on the simulator hot path — a refactor that perturbs any observable
+ * by even one tick changes latencies, bit decodes, or defense counters
+ * somewhere in the 26-figure registry and fails tier-1 here, not just
+ * in CI smoke.
+ *
+ * Each figure runs twice, on 1 thread and on 4, and both runs must
+ * match the same golden file: the sweep runner's determinism contract
+ * (rows merged in job-index order) makes the CSV thread-count
+ * invariant, so one checked-in artifact pins both schedules.
+ *
+ * Regenerate after an intentional behavior change with
+ *
+ *     build/leakyhammer repro --update-golden
+ *
+ * run from the repo root, and review the CSV diff like any other code
+ * change. LEAKY_GOLDEN_DIR is injected by CMake and points at the
+ * source tree, so the test sees the same files the CLI writes.
+ */
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/figures.hh"
+
+namespace {
+
+using leaky::runner::Figure;
+using leaky::runner::figures;
+using leaky::runner::findFigure;
+using leaky::runner::goldenCsv;
+using leaky::runner::goldenPath;
+
+std::string
+goldenDir()
+{
+    return LEAKY_GOLDEN_DIR;
+}
+
+// Read the whole file; empty optional-style sentinel via `ok`.
+bool
+slurp(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+}
+
+// Show the first differing line so a golden mismatch reports *where*
+// the timing diverged, not just that 30 KB of CSV differ.
+std::string
+firstDiff(const std::string &want, const std::string &got)
+{
+    std::istringstream a(want), b(got);
+    std::string la, lb;
+    for (std::size_t line = 1;; ++line) {
+        const bool ha = static_cast<bool>(std::getline(a, la));
+        const bool hb = static_cast<bool>(std::getline(b, lb));
+        if (!ha && !hb)
+            return "files differ only in trailing bytes";
+        if (la != lb || ha != hb) {
+            std::ostringstream msg;
+            msg << "first difference at line " << line << ":\n  golden: "
+                << (ha ? la : "<eof>") << "\n  actual: "
+                << (hb ? lb : "<eof>");
+            return msg.str();
+        }
+    }
+}
+
+class GoldenFigureTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GoldenFigureTest, SmokeCsvMatchesGoldenOn1And4Threads)
+{
+    const Figure *figure = findFigure(GetParam());
+    ASSERT_NE(figure, nullptr);
+
+    const std::string path = goldenPath(goldenDir(), *figure);
+    std::string want;
+    ASSERT_TRUE(slurp(path, &want))
+        << "missing golden " << path
+        << " — regenerate with `build/leakyhammer repro "
+           "--update-golden` from the repo root";
+
+    const std::string got1 = goldenCsv(*figure, 1);
+    EXPECT_EQ(want, got1)
+        << "1-thread smoke CSV diverged from " << path << "\n"
+        << firstDiff(want, got1);
+
+    const std::string got4 = goldenCsv(*figure, 4);
+    EXPECT_EQ(want, got4)
+        << "4-thread smoke CSV diverged from " << path << "\n"
+        << firstDiff(want, got4);
+}
+
+std::vector<std::string>
+figureNames()
+{
+    std::vector<std::string> names;
+    for (const auto &figure : figures())
+        names.push_back(figure.name);
+    return names;
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<std::string> &info)
+{
+    std::string name = info.param;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFigures, GoldenFigureTest,
+                         ::testing::ValuesIn(figureNames()), paramName);
+
+// Both directions of staleness: a figure without a golden means the
+// harness silently stopped covering it; a golden without a figure
+// means a rename left a dead artifact that would mask the first case.
+TEST(GoldenRegistry, GoldenDirMatchesFigureRegistryBothWays)
+{
+    namespace fs = std::filesystem;
+    ASSERT_TRUE(fs::is_directory(goldenDir()))
+        << goldenDir() << " missing — run `build/leakyhammer repro "
+                          "--update-golden` from the repo root";
+
+    std::set<std::string> on_disk;
+    for (const auto &entry : fs::directory_iterator(goldenDir()))
+        if (entry.path().extension() == ".csv")
+            on_disk.insert(entry.path().stem().string());
+
+    std::set<std::string> registered;
+    for (const auto &figure : figures())
+        registered.insert(figure.name);
+
+    for (const auto &name : registered)
+        EXPECT_TRUE(on_disk.count(name))
+            << "figure '" << name << "' has no golden CSV";
+    for (const auto &name : on_disk)
+        EXPECT_TRUE(registered.count(name))
+            << "stale golden '" << name
+            << ".csv' does not name a registered figure";
+}
+
+} // namespace

@@ -10,6 +10,7 @@ using leaky::ctrl::BankFilter;
 using leaky::ctrl::FrFcfsScheduler;
 using leaky::ctrl::QueueEntry;
 using leaky::ctrl::Request;
+using leaky::ctrl::RequestQueue;
 using leaky::dram::Address;
 using leaky::dram::Command;
 using leaky::dram::DramChannel;
@@ -37,6 +38,16 @@ class SchedulerTest : public ::testing::Test
         return e;
     }
 
+    /** Build a RequestQueue from entries (push annotates addresses). */
+    template <typename... Es>
+    RequestQueue
+    queue(Es... es)
+    {
+        RequestQueue q(cfg_.org);
+        (q.push(std::move(es)), ...);
+        return q;
+    }
+
     /** BankFilter that blocks nothing. */
     static constexpr BankFilter noneBlocked{};
 
@@ -47,13 +58,13 @@ class SchedulerTest : public ::testing::Test
 
 TEST_F(SchedulerTest, EmptyQueueYieldsNothing)
 {
-    std::deque<QueueEntry> q;
+    RequestQueue q(cfg_.org);
     EXPECT_FALSE(sched_.pick(q, chan_, noneBlocked, 0).has_value());
 }
 
 TEST_F(SchedulerTest, ClosedBankGetsActivate)
 {
-    std::deque<QueueEntry> q{entry(0, 0, 5, 0)};
+    auto q = queue(entry(0, 0, 5, 0));
     const auto d = sched_.pick(q, chan_, noneBlocked, 0);
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->cmd, Command::kAct);
@@ -64,7 +75,7 @@ TEST_F(SchedulerTest, RowHitBeatsOlderConflict)
 {
     chan_.issue(Command::kAct, entry(0, 0, 5, 0).req.addr, 0);
     // Older request conflicts (row 9), newer request hits (row 5).
-    std::deque<QueueEntry> q{entry(0, 0, 9, 0), entry(0, 0, 5, 1)};
+    auto q = queue(entry(0, 0, 9, 0), entry(0, 0, 5, 1));
     const auto d = sched_.pick(q, chan_, noneBlocked,
                                cfg_.timing.tRCD);
     ASSERT_TRUE(d.has_value());
@@ -75,7 +86,7 @@ TEST_F(SchedulerTest, RowHitBeatsOlderConflict)
 TEST_F(SchedulerTest, ConflictGetsPrecharge)
 {
     chan_.issue(Command::kAct, entry(0, 0, 5, 0).req.addr, 0);
-    std::deque<QueueEntry> q{entry(0, 0, 9, 0)};
+    auto q = queue(entry(0, 0, 9, 0));
     const auto d = sched_.pick(q, chan_, noneBlocked, 0);
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->cmd, Command::kPre);
@@ -83,8 +94,8 @@ TEST_F(SchedulerTest, ConflictGetsPrecharge)
 
 TEST_F(SchedulerTest, FcfsAmongEqualCandidates)
 {
-    std::deque<QueueEntry> q{entry(0, 0, 5, 3), entry(1, 0, 6, 1),
-                             entry(2, 0, 7, 2)};
+    auto q = queue(entry(0, 0, 5, 3), entry(1, 0, 6, 1),
+                             entry(2, 0, 7, 2));
     const auto d = sched_.pick(q, chan_, noneBlocked, 0);
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->index, 1u); // order 1 is oldest.
@@ -100,7 +111,7 @@ TEST_F(SchedulerTest, ColumnCapYieldsToOlderConflict)
 
     // Older conflict (order 0) + newer hit (order 1): the cap forces
     // the conflict now.
-    std::deque<QueueEntry> q{entry(0, 0, 9, 0), entry(0, 0, 5, 1)};
+    auto q = queue(entry(0, 0, 9, 0), entry(0, 0, 5, 1));
     const auto d = sched_.pick(q, chan_, noneBlocked, cfg_.timing.tRCD);
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->index, 0u);
@@ -114,7 +125,7 @@ TEST_F(SchedulerTest, CapIgnoredWithoutOlderConflict)
     for (int i = 0; i < 20; ++i)
         sched_.onIssue(hit_addr, Command::kRd, true);
     // Only hits (no older non-hit): keep streaming.
-    std::deque<QueueEntry> q{entry(0, 0, 5, 0)};
+    auto q = queue(entry(0, 0, 5, 0));
     const auto d = sched_.pick(q, chan_, noneBlocked, cfg_.timing.tRCD);
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->cmd, Command::kRd);
@@ -128,7 +139,7 @@ TEST_F(SchedulerTest, ActivateResetsStreak)
         sched_.onIssue(hit_addr, Command::kRd, true);
     sched_.onIssue(hit_addr, Command::kAct, false);
 
-    std::deque<QueueEntry> q{entry(0, 0, 9, 0), entry(0, 0, 5, 1)};
+    auto q = queue(entry(0, 0, 9, 0), entry(0, 0, 5, 1));
     const auto d = sched_.pick(q, chan_, noneBlocked, cfg_.timing.tRCD);
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->index, 1u); // Hit priority restored.
@@ -136,7 +147,7 @@ TEST_F(SchedulerTest, ActivateResetsStreak)
 
 TEST_F(SchedulerTest, BlockedBanksAreSkipped)
 {
-    std::deque<QueueEntry> q{entry(0, 0, 5, 0), entry(1, 1, 6, 1)};
+    auto q = queue(entry(0, 0, 5, 0), entry(1, 1, 6, 1));
     const BankFilter blocked{[](const void *, const Address &a) {
         return a.bankgroup == 0 && a.bank == 0;
     }, nullptr};
@@ -147,7 +158,7 @@ TEST_F(SchedulerTest, BlockedBanksAreSkipped)
 
 TEST_F(SchedulerTest, AllBlockedYieldsNothing)
 {
-    std::deque<QueueEntry> q{entry(0, 0, 5, 0)};
+    auto q = queue(entry(0, 0, 5, 0));
     const BankFilter blocked{
         [](const void *, const Address &) { return true; }, nullptr};
     EXPECT_FALSE(sched_.pick(q, chan_, blocked, 0).has_value());
@@ -159,7 +170,7 @@ TEST_F(SchedulerTest, WriteHitPicksWriteCommand)
     chan_.issue(Command::kAct, a, 0);
     QueueEntry e = entry(0, 0, 5, 0);
     e.req.type = Request::Type::kWrite;
-    std::deque<QueueEntry> q{e};
+    auto q = queue(e);
     const auto d = sched_.pick(q, chan_, noneBlocked, cfg_.timing.tRCD);
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->cmd, Command::kWr);

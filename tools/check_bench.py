@@ -14,6 +14,10 @@ tighten or loosen it per environment:
     LEAKY_BENCH_TOLERANCE=0.40 tools/check_bench.py ...   # noisy runner
     tools/check_bench.py --tolerance 0.10 ...             # quiet box
 
+Headline metrics carry their own stricter ceiling (PER_BENCH_TOLERANCE):
+the effective tolerance for those is min(blanket, per-bench), so a noisy
+runner's widened blanket never loosens the tracked hot-loop guarantee.
+
 Exit status: 0 = no regressions, 1 = at least one regression (or a
 baseline benchmark missing from the current run), 2 = bad invocation.
 """
@@ -22,6 +26,13 @@ import argparse
 import json
 import os
 import sys
+
+# Stricter per-benchmark ceilings for tracked headline metrics. The
+# controller hot loop is the repo's optimisation target; a 10% loss
+# there is a real regression, not runner noise.
+PER_BENCH_TOLERANCE = {
+    "BM_ControllerRequests": 0.10,
+}
 
 
 def load_benchmarks(path):
@@ -84,24 +95,26 @@ def main(argv):
         # Positive change = improvement, in either metric direction.
         change = (cur - base) / base if higher_better \
             else (base - cur) / base
-        regressed = change < -args.tolerance
+        tolerance = min(args.tolerance,
+                        PER_BENCH_TOLERANCE.get(name, args.tolerance))
+        regressed = change < -tolerance
         if regressed:
             failures.append(name)
-        print("%-*s  %+7.1f%%  %s  (%s)" %
+        print("%-*s  %+7.1f%%  %s  (%s, tol %.0f%%)" %
               (width, name, change * 100.0,
-               "REGRESSED" if regressed else "ok", label))
+               "REGRESSED" if regressed else "ok", label,
+               tolerance * 100.0))
 
     for name in sorted(set(current) - set(baseline)):
         print("%-*s  (new; no baseline)" % (width, name))
 
     if failures:
-        print("check_bench: %d benchmark(s) beyond the %.0f%% "
-              "tolerance: %s" %
-              (len(failures), args.tolerance * 100.0,
-               ", ".join(failures)),
+        print("check_bench: %d benchmark(s) beyond tolerance: %s" %
+              (len(failures), ", ".join(failures)),
               file=sys.stderr)
         return 1
-    print("check_bench: all %d benchmarks within %.0f%% of baseline" %
+    print("check_bench: all %d benchmarks within tolerance "
+          "(blanket %.0f%%)" %
           (len(baseline), args.tolerance * 100.0))
     return 0
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs gate: keep the documentation verifiably in sync with the code.
 
-Two checks, stdlib-only so CI and laptops run it with any Python 3:
+Three checks, stdlib-only so CI and laptops run it with any Python 3:
 
 1. **Figure catalogue coverage** (needs --names): every figure name the
    `leakyhammer` binary registers must have a `### `name`` entry in
@@ -12,7 +12,13 @@ Two checks, stdlib-only so CI and laptops run it with any Python 3:
        build/leakyhammer list --names > names.txt
        tools/check_docs.py --names names.txt
 
-2. **Link resolution** (always): every relative markdown link in
+2. **Golden coverage** (needs --names): every registered figure must
+   have a golden CSV in tests/golden/ (regenerate with `leakyhammer
+   repro --update-golden`), and every golden CSV must name a registered
+   figure — goldens can neither lag behind the registry nor outlive a
+   deleted figure silently.
+
+3. **Link resolution** (always): every relative markdown link in
    README.md and docs/*.md must point at an existing file. External
    (http/https/mailto) links and pure #anchors are skipped; a trailing
    #fragment on a relative link is stripped before the check.
@@ -48,11 +54,8 @@ def doc_files(root):
 
 
 def check_catalogue(names_path, figures_md, failures):
-    try:
-        with open(names_path) as fh:
-            registered = [line.strip() for line in fh if line.strip()]
-    except OSError as err:
-        failures.append("cannot read --names file: %s" % err)
+    registered = read_names(names_path, failures)
+    if registered is None:
         return
     try:
         with open(figures_md) as fh:
@@ -81,6 +84,42 @@ def check_catalogue(names_path, figures_md, failures):
     if not failures:
         print("check_docs: catalogue in sync (%d figures)"
               % len(registered))
+
+
+def read_names(names_path, failures):
+    try:
+        with open(names_path) as fh:
+            return [line.strip() for line in fh if line.strip()]
+    except OSError as err:
+        failures.append("cannot read --names file: %s" % err)
+        return None
+
+
+def check_goldens(names_path, golden_dir, failures):
+    registered = read_names(names_path, failures)
+    if registered is None:
+        return
+    if not os.path.isdir(golden_dir):
+        failures.append(
+            "golden directory '%s' does not exist (run `leakyhammer "
+            "repro --update-golden`)" % golden_dir)
+        return
+    goldens = sorted(
+        name[:-len(".csv")] for name in os.listdir(golden_dir)
+        if name.endswith(".csv"))
+    for name in registered:
+        if name not in goldens:
+            failures.append(
+                "figure '%s' is registered but has no golden CSV in "
+                "%s (run `leakyhammer repro --update-golden`)"
+                % (name, golden_dir))
+    for name in goldens:
+        if name not in registered:
+            failures.append(
+                "%s/%s.csv has no registered figure (stale golden? "
+                "delete it or restore the figure)" % (golden_dir, name))
+    if not failures:
+        print("check_docs: goldens in sync (%d figures)" % len(goldens))
 
 
 def check_links(files, failures):
@@ -113,8 +152,12 @@ def main(argv):
     parser.add_argument(
         "--names",
         help="file with one registered figure name per line (from "
-             "`leakyhammer list --names`); omits the catalogue check "
-             "when absent")
+             "`leakyhammer list --names`); omits the catalogue and "
+             "golden checks when absent")
+    parser.add_argument(
+        "--golden-dir",
+        help="golden CSV directory to cross-check against --names "
+             "(default: tests/golden)")
     args = parser.parse_args(argv)
 
     root = repo_root()
@@ -123,6 +166,10 @@ def main(argv):
         check_catalogue(args.names, os.path.join(root, "docs",
                                                  "FIGURES.md"),
                         failures)
+        check_goldens(args.names,
+                      args.golden_dir or os.path.join(root, "tests",
+                                                      "golden"),
+                      failures)
     check_links(doc_files(root), failures)
 
     for failure in failures:
