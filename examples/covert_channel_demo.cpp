@@ -4,7 +4,7 @@
  * RFM-based LeakyHammer channels (paper §6.3 and §7.3). Thin wrapper
  * over `leakyhammer run covert` (src/runner/demos.cc).
  *
- * Usage: covert_channel_demo [--message <text>]
+ * Usage: covert_channel_demo [--message <text>] [--mapping <spec>]
  */
 
 #include "runner/demos.hh"

@@ -3,8 +3,11 @@
  * Attacker-side address construction. In the paper's threat model (§5.2)
  * attack processes partially reverse engineer the DRAM address mapping
  * and massage pages into chosen rows/banks; in simulation that amounts
- * to composing physical addresses through the same AddressMapper the
- * system uses.
+ * to composing physical addresses through a dram::MappingFunction — the
+ * attacker's ASSUMED function, which mapping-order (wrong assumption)
+ * and mapping-recovery (learned assumption) both route through. The
+ * AddressMapper overloads below compose through the system's own
+ * function, the "attacker already knows the mapping" baseline.
  */
 
 #ifndef LEAKY_ATTACK_DRAM_ADDR_HH
@@ -18,18 +21,19 @@
 
 namespace leaky::attack {
 
-/** Physical address of (channel, rank, bankgroup, bank, row, column).
- *  Asserts the channel exists in @p mapper's topology up front — a
- *  compose() of out-of-range coordinates would otherwise only trip the
- *  generic field-range check deep inside the mapper. */
+/** Physical address of (channel, rank, bankgroup, bank, row, column)
+ *  under the attacker's assumed mapping function. Asserts the channel
+ *  exists in @p fn's topology up front — a compose() of out-of-range
+ *  coordinates would otherwise only trip the generic field-range check
+ *  deep inside the mapper. */
 inline std::uint64_t
-rowAddress(const dram::AddressMapper &mapper, std::uint32_t channel,
+rowAddress(const dram::MappingFunction &fn, std::uint32_t channel,
            std::uint32_t rank, std::uint32_t bankgroup, std::uint32_t bank,
            std::uint32_t row, std::uint32_t column = 0)
 {
-    LEAKY_ASSERT(channel < mapper.channels(),
+    LEAKY_ASSERT(channel < fn.channels(),
                  "attacker targets channel %u but the system has %u",
-                 channel, mapper.channels());
+                 channel, fn.channels());
     dram::Address a;
     a.channel = channel;
     a.rank = rank;
@@ -37,12 +41,22 @@ rowAddress(const dram::AddressMapper &mapper, std::uint32_t channel,
     a.bank = bank;
     a.row = row;
     a.column = column;
-    return mapper.compose(a);
+    return fn.compose(a);
+}
+
+/** As above, through the system mapper's own function. */
+inline std::uint64_t
+rowAddress(const dram::AddressMapper &mapper, std::uint32_t channel,
+           std::uint32_t rank, std::uint32_t bankgroup, std::uint32_t bank,
+           std::uint32_t row, std::uint32_t column = 0)
+{
+    return rowAddress(mapper.fn(), channel, rank, bankgroup, bank, row,
+                      column);
 }
 
 /** N addresses in distinct rows of the same bank (for Listing 2). */
 inline std::vector<std::uint64_t>
-rowsInBank(const dram::AddressMapper &mapper, std::uint32_t channel,
+rowsInBank(const dram::MappingFunction &fn, std::uint32_t channel,
            std::uint32_t rank, std::uint32_t bankgroup, std::uint32_t bank,
            std::uint32_t first_row, std::uint32_t count,
            std::uint32_t stride = 1)
@@ -50,10 +64,21 @@ rowsInBank(const dram::AddressMapper &mapper, std::uint32_t channel,
     std::vector<std::uint64_t> out;
     out.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
-        out.push_back(rowAddress(mapper, channel, rank, bankgroup, bank,
+        out.push_back(rowAddress(fn, channel, rank, bankgroup, bank,
                                  first_row + i * stride));
     }
     return out;
+}
+
+/** As above, through the system mapper's own function. */
+inline std::vector<std::uint64_t>
+rowsInBank(const dram::AddressMapper &mapper, std::uint32_t channel,
+           std::uint32_t rank, std::uint32_t bankgroup, std::uint32_t bank,
+           std::uint32_t first_row, std::uint32_t count,
+           std::uint32_t stride = 1)
+{
+    return rowsInBank(mapper.fn(), channel, rank, bankgroup, bank,
+                      first_row, count, stride);
 }
 
 } // namespace leaky::attack

@@ -270,10 +270,12 @@ runPatternSweep(ChannelRunSpec spec)
 }
 
 MessageDemoResult
-runMessageDemo(attack::ChannelKind kind, const std::string &message)
+runMessageDemo(attack::ChannelKind kind, const std::string &message,
+               const dram::MappingSpec &mapping)
 {
     ChannelRunSpec spec;
     spec.kind = kind;
+    spec.mapping = mapping;
     const sys::SystemConfig sys_cfg = channelSystemConfig(spec);
     sys::System system(sys_cfg);
     attack::CovertConfig cfg = channelConfig(system, spec);
@@ -619,8 +621,8 @@ runMultiChannelAggregate(const MultiChannelSpec &spec)
 }
 
 attack::ChannelResult
-runMappingOrderCell(dram::MappingPreset actual,
-                    dram::MappingPreset assumed,
+runMappingOrderCell(const dram::MappingSpec &actual,
+                    const dram::MappingSpec &assumed,
                     std::size_t message_bytes, std::uint64_t seed)
 {
     ChannelRunSpec spec;
@@ -633,21 +635,128 @@ runMappingOrderCell(dram::MappingPreset actual,
 
     attack::CovertConfig cfg = channelConfig(system, spec);
     // The attacker massages its pages through the mapping it reverse
-    // engineered (§5.2) — compose through the ASSUMED order, decode
-    // through the actual one. A non-trivial bank coordinate (bg 2,
-    // bank 1) keeps the two orders distinguishable: at all-zero low
-    // fields every preset degenerates to the same line index.
-    const dram::AddressMapper assumed_mapper(sys_cfg.ctrl.dram.org,
-                                             sys_cfg.channels, assumed);
-    cfg.sender_addr =
-        attack::rowAddress(assumed_mapper, 0, 0, 2, 1, 1000);
-    cfg.receiver_addr =
-        attack::rowAddress(assumed_mapper, 0, 0, 2, 1, 2000);
+    // engineered (§5.2) — compose through the ASSUMED MappingFunction,
+    // decode through the actual one (the same composition path the
+    // mapping-recovery attacker feeds its learned function into). A
+    // non-trivial bank coordinate (bg 2, bank 1) keeps the functions
+    // distinguishable: at all-zero low fields every preset degenerates
+    // to the same line index.
+    const dram::MappingFunction assumed_fn(sys_cfg.ctrl.dram.org,
+                                           sys_cfg.channels, assumed);
+    cfg.sender_addr = attack::rowAddress(assumed_fn, 0, 0, 2, 1, 1000);
+    cfg.receiver_addr = attack::rowAddress(assumed_fn, 0, 0, 2, 1, 2000);
 
     const auto bits = attack::patternBits(
         attack::MessagePattern::kCheckered0, message_bytes * 8);
     return attack::runCovertChannel(system, cfg,
                                     attack::symbolsFromBits(bits, 2));
+}
+
+// ------------------------------- online mapping recovery (ROADMAP 2)
+
+namespace {
+
+/** Fold one extra physical-bit tap into the LSB mask of @p field —
+ *  an elementary GF(2) row operation, so the result stays invertible
+ *  as long as each fold taps a bit owned by a DIFFERENT output row. */
+void
+foldTap(std::array<std::vector<std::uint64_t>, dram::kNumFields> &masks,
+        dram::Field field, std::uint32_t phys_bit)
+{
+    auto &field_masks = masks[static_cast<std::size_t>(field)];
+    LEAKY_ASSERT(!field_masks.empty(), "cannot fold into a zero-width "
+                                       "field");
+    field_masks[0] ^= std::uint64_t{1} << phys_bit;
+}
+
+} // namespace
+
+std::vector<RecoveryMappingCase>
+recoveryMappings()
+{
+    std::vector<RecoveryMappingCase> out;
+    for (dram::MappingPreset preset : dram::kAllMappingPresets)
+        out.push_back({dram::presetName(preset), 0, preset});
+
+    // XOR variants: row-interleaved's explicit matrix with row bits
+    // folded into bank-set masks at increasing heights. Under the
+    // paper geometry the line bits are col 6-12, bg 13-15, ba 16-17,
+    // ra 18, row 19-35 (physical); folding physical bits 24 / 28 / 34
+    // into bg0 / ba0 / ra forces the attacker's difference window
+    // past 16 / 22 / 26 line bits respectively — one more adaptive
+    // round per fold.
+    const sys::SystemConfig base_cfg =
+        sys::SystemConfig::paper(DefenseKind::kNone);
+    const dram::MappingFunction base(
+        base_cfg.ctrl.dram.org, base_cfg.channels,
+        dram::MappingPreset::kRowInterleaved);
+    std::array<std::vector<std::uint64_t>, dram::kNumFields> masks{};
+    for (std::size_t i = 0; i < dram::kNumFields; ++i)
+        masks[i] = base.fieldMasks(static_cast<dram::Field>(i));
+
+    foldTap(masks, dram::Field::kBankGroup, 24);
+    out.push_back({"xor-near", 1, dram::MappingSpec::fromMasks(masks)});
+    foldTap(masks, dram::Field::kBank, 28);
+    out.push_back({"xor-mid", 2, dram::MappingSpec::fromMasks(masks)});
+    foldTap(masks, dram::Field::kRank, 34);
+    out.push_back({"xor-far", 3, dram::MappingSpec::fromMasks(masks)});
+    return out;
+}
+
+MappingRecoveryCellResult
+runMappingRecoveryCell(const dram::MappingSpec &mapping,
+                       DefenseKind defense, std::uint64_t seed)
+{
+    sys::SystemConfig sys_cfg = sys::SystemConfig::paper(defense, 160);
+    sys_cfg.mapping = mapping;
+    sys::System system(sys_cfg);
+
+    attack::MappingRecoveryConfig cfg;
+    cfg.classifier = attack::LatencyClassifier::forTiming(
+        sys_cfg.ctrl.dram.timing);
+    cfg.pairs_per_round = 192;
+    cfg.seed = seed;
+    attack::MappingRecovery attacker(system, cfg);
+
+    bool done = false;
+    attacker.start([&done] { done = true; });
+    // Generous ceiling: even the xor-far cell solves in well under a
+    // simulated second; a wedged attacker fails loudly instead of
+    // spinning forever.
+    const Tick deadline = system.now() + 60'000 * sim::kMs;
+    while (!done && system.now() < deadline)
+        system.run(sim::kMs);
+    LEAKY_ASSERT(done, "mapping recovery did not terminate");
+
+    MappingRecoveryCellResult out;
+    out.recovered = attacker.result();
+
+    // Grade against the system mapper's ground truth. Bank functions
+    // must match as a SPAN (any basis of the same space predicts the
+    // same conflicts); row functions only modulo bank functions, so
+    // the joint bank+row span is the identifiable object.
+    const dram::MappingFunction &fn = system.mapper().fn();
+    dram::gf2::BitBasis true_bank;
+    for (dram::Field f :
+         {dram::Field::kChannel, dram::Field::kRank,
+          dram::Field::kBankGroup, dram::Field::kBank})
+        for (std::uint64_t m : fn.fieldMasks(f))
+            true_bank.insert(m);
+    dram::gf2::BitBasis got_bank;
+    for (std::uint64_t m : out.recovered.bank_masks)
+        got_bank.insert(m);
+    out.bank_match =
+        out.recovered.bank_solved && got_bank.sameSpan(true_bank);
+
+    dram::gf2::BitBasis true_joint = true_bank;
+    for (std::uint64_t m : fn.fieldMasks(dram::Field::kRow))
+        true_joint.insert(m);
+    dram::gf2::BitBasis got_joint = got_bank;
+    for (std::uint64_t m : out.recovered.row_masks)
+        got_joint.insert(m);
+    out.row_match =
+        out.recovered.row_solved && got_joint.sameSpan(true_joint);
+    return out;
 }
 
 // --------------------------------------- tracker family (cross-defense)

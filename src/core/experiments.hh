@@ -20,6 +20,7 @@
 
 #include "attack/covert.hh"
 #include "attack/fingerprint.hh"
+#include "attack/mapping_recovery.hh"
 #include "attack/message.hh"
 #include "attack/probe.hh"
 #include "ml/dataset.hh"
@@ -72,7 +73,7 @@ struct ChannelRunSpec {
     std::uint32_t channels = 1;
     std::uint32_t sender_channel = 0;
     std::uint32_t receiver_channel = 0;
-    dram::MappingPreset mapping = dram::MappingPreset::kRowInterleaved;
+    dram::MappingSpec mapping;
     std::size_t message_bytes = 100;
     attack::MessagePattern pattern = attack::MessagePattern::kCheckered0;
     /** Noise microbenchmark sleep (0 = no noise agent). */
@@ -131,8 +132,10 @@ struct MessageDemoResult {
     std::string decoded_text;
 };
 
-MessageDemoResult runMessageDemo(attack::ChannelKind kind,
-                                 const std::string &message = "MICRO");
+MessageDemoResult
+runMessageDemo(attack::ChannelKind kind,
+               const std::string &message = "MICRO",
+               const dram::MappingSpec &mapping = {});
 
 // ------------------------------------------------------- Figs. 9/10, T2
 
@@ -276,14 +279,46 @@ struct MultiChannelResult {
 MultiChannelResult runMultiChannelAggregate(const MultiChannelSpec &spec);
 
 /** One mapping-diversity cell: the system decodes through @p actual
- *  while the attacker composes its rows through @p assumed — the
- *  partially-wrong reverse-engineered mapping of §5.2. Equal presets
- *  reproduce the baseline PRAC channel; a mismatch scatters the
- *  attacker's "same-bank" pair and the channel collapses. */
-attack::ChannelResult runMappingOrderCell(dram::MappingPreset actual,
-                                          dram::MappingPreset assumed,
+ *  while the attacker composes its rows through the @p assumed
+ *  MappingFunction — the partially-wrong reverse-engineered mapping of
+ *  §5.2. Equal specs reproduce the baseline PRAC channel; a mismatch
+ *  scatters the attacker's "same-bank" pair and the channel collapses. */
+attack::ChannelResult runMappingOrderCell(const dram::MappingSpec &actual,
+                                          const dram::MappingSpec &assumed,
                                           std::size_t message_bytes,
                                           std::uint64_t seed);
+
+// ------------------------------- online mapping recovery (ROADMAP 2)
+
+/** One point on the recovery figure's mapping axis. */
+struct RecoveryMappingCase {
+    std::string name;
+    /** Extra XOR taps beyond a pure bit permutation (0 for presets). */
+    std::uint32_t complexity = 0;
+    dram::MappingSpec spec;
+};
+
+/** The mapping axis of the `mapping-recovery` figure: the three
+ *  presets (complexity 0) plus row-interleaved variants that fold
+ *  progressively higher row bits into bank-set masks — each fold
+ *  forces the attacker's difference window to climb one step. */
+std::vector<RecoveryMappingCase> recoveryMappings();
+
+struct MappingRecoveryCellResult {
+    attack::RecoveredMapping recovered;
+    /** span(learned bank fns) == span(true ch/rank/bg/bank fns). */
+    bool bank_match = false;
+    /** Joint bank+row span equality (row fns are only identifiable
+     *  modulo bank fns under a conflict oracle). */
+    bool row_match = false;
+};
+
+/** Run one MappingRecovery attacker against a system decoding through
+ *  @p mapping under @p defense, and grade the learned functions
+ *  against the system mapper's ground-truth masks. */
+MappingRecoveryCellResult
+runMappingRecoveryCell(const dram::MappingSpec &mapping,
+                       defense::DefenseKind defense, std::uint64_t seed);
 
 // ------------------------------------------------------------- Fig. 13
 

@@ -1,117 +1,22 @@
 #include "dram/address_mapper.hh"
 
-#include "sim/logging.hh"
-
 namespace leaky::dram {
 
-std::array<Field, kNumFields>
-presetOrder(MappingPreset preset)
+AddressMapper::AddressMapper(const Organization &org,
+                             std::uint32_t channels,
+                             const MappingSpec &spec)
+    : org_(org), fn_(org, channels, spec)
 {
-    switch (preset) {
-      case MappingPreset::kRowInterleaved:
-        return {Field::kColumn, Field::kBankGroup, Field::kBank,
-                Field::kRank, Field::kRow, Field::kChannel};
-      case MappingPreset::kBankFirst:
-        return {Field::kBankGroup, Field::kBank, Field::kRank,
-                Field::kColumn, Field::kRow, Field::kChannel};
-      case MappingPreset::kChannelLast:
-        return {Field::kColumn, Field::kRow, Field::kBankGroup,
-                Field::kBank, Field::kRank, Field::kChannel};
-    }
-    sim::panic("unknown mapping preset");
-}
-
-const char *
-presetName(MappingPreset preset)
-{
-    switch (preset) {
-      case MappingPreset::kRowInterleaved: return "row-interleaved";
-      case MappingPreset::kBankFirst: return "bank-first";
-      case MappingPreset::kChannelLast: return "channel-last";
-    }
-    sim::panic("unknown mapping preset");
-}
-
-AddressMapper::AddressMapper(const Organization &org, std::uint32_t channels,
-                             std::array<Field, kNumFields> order)
-    : org_(org), channels_(channels), order_(order)
-{
-    LEAKY_ASSERT(channels_ > 0, "need at least one channel");
-    // A custom order must be a permutation of all six fields; a
-    // duplicate (and the matching omission) would alias two coordinate
-    // fields onto the same digits and break round trips silently.
-    std::uint32_t seen = 0;
-    for (Field f : order_)
-        seen |= 1u << static_cast<unsigned>(f);
-    LEAKY_ASSERT(seen == (1u << kNumFields) - 1,
-                 "mapper order is not a permutation of all fields");
-    std::uint64_t lines = 1;
-    for (std::size_t i = 0; i < order_.size(); ++i) {
-        sizes_[i] = fieldSize(order_[i]);
-        lines *= sizes_[i];
-    }
-    capacity_ = lines * kLineBytes;
-}
-
-std::uint32_t
-AddressMapper::fieldSize(Field f) const
-{
-    switch (f) {
-      case Field::kColumn: return org_.columns;
-      case Field::kBankGroup: return org_.bankgroups;
-      case Field::kBank: return org_.banks_per_group;
-      case Field::kRank: return org_.ranks;
-      case Field::kRow: return org_.rows;
-      case Field::kChannel: return channels_;
-    }
-    sim::panic("unknown address field");
 }
 
 Address
 AddressMapper::decode(std::uint64_t phys_addr) const
 {
-    std::uint64_t line = (phys_addr % capacity_) / kLineBytes;
-    Address out;
-    for (std::size_t i = 0; i < order_.size(); ++i) {
-        const std::uint32_t size = sizes_[i];
-        const auto digit = static_cast<std::uint32_t>(line % size);
-        line /= size;
-        switch (order_[i]) {
-          case Field::kColumn: out.column = digit; break;
-          case Field::kBankGroup: out.bankgroup = digit; break;
-          case Field::kBank: out.bank = digit; break;
-          case Field::kRank: out.rank = digit; break;
-          case Field::kRow: out.row = digit; break;
-          case Field::kChannel: out.channel = digit; break;
-        }
-    }
+    Address out = fn_.decode(phys_addr);
     // Hot paths downstream (channel, scheduler, defenses) index by flat
     // bank; cache it once here instead of re-deriving per command.
     org_.annotate(out);
     return out;
-}
-
-std::uint64_t
-AddressMapper::compose(const Address &addr) const
-{
-    std::uint64_t line = 0;
-    std::uint64_t scale = 1;
-    for (Field f : order_) {
-        std::uint32_t digit = 0;
-        switch (f) {
-          case Field::kColumn: digit = addr.column; break;
-          case Field::kBankGroup: digit = addr.bankgroup; break;
-          case Field::kBank: digit = addr.bank; break;
-          case Field::kRank: digit = addr.rank; break;
-          case Field::kRow: digit = addr.row; break;
-          case Field::kChannel: digit = addr.channel; break;
-        }
-        LEAKY_ASSERT(digit < fieldSize(f), "field %d out of range",
-                     static_cast<int>(f));
-        line += static_cast<std::uint64_t>(digit) * scale;
-        scale *= fieldSize(f);
-    }
-    return line * kLineBytes;
 }
 
 } // namespace leaky::dram

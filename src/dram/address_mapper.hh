@@ -1,11 +1,13 @@
 /**
  * @file
- * Physical-address <-> DRAM-coordinate mapping. The default field order
- * (LSB to MSB: column, bankgroup, bank, rank, row, channel) interleaves
- * consecutive cache lines across columns, then bank groups, which is the
- * row-interleaved mapping the paper's attacks assume. The inverse mapping
- * (compose) is what attack processes use to "massage" pages into chosen
- * rows/banks after reverse engineering the mapping, as described in §5.2.
+ * Physical-address <-> DRAM-coordinate mapping. AddressMapper is the
+ * system-facing wrapper around dram::MappingFunction (see mapping.hh):
+ * it compiles a MappingSpec against the channel geometry, wraps
+ * physical addresses into the mapped capacity, and fills the flat-bank
+ * caches hot paths downstream rely on. The inverse mapping (compose)
+ * is what attack processes use to "massage" pages into chosen
+ * rows/banks after reverse engineering the mapping, as described in
+ * §5.2 of the paper.
  */
 
 #ifndef LEAKY_DRAM_ADDRESS_MAPPER_HH
@@ -15,74 +17,38 @@
 #include <cstdint>
 
 #include "dram/config.hh"
+#include "dram/mapping.hh"
 #include "dram/types.hh"
 
 namespace leaky::dram {
-
-/** Address fields orderable within the mapping. */
-enum class Field : std::uint8_t {
-    kColumn, kBankGroup, kBank, kRank, kRow, kChannel
-};
-
-/** Number of orderable fields (the size of a full order array). */
-inline constexpr std::size_t kNumFields = 6;
-
-/**
- * Named physical-to-DRAM mapping presets (the reverse-engineering
- * targets of §5.2). Each expands to a full field order, least to most
- * significant; the presets only differ in observable behaviour when
- * traffic is generated in *physical* addresses — attacks that compose
- * coordinates through the system's own mapper are order-invariant by
- * construction, which is exactly what the `mapping-order` figure
- * exploits to model attackers with a *wrong* mapping assumption.
- */
-enum class MappingPreset : std::uint8_t {
-    /** column, bankgroup, bank, rank, row, channel — the default:
-     *  consecutive lines walk a row, then interleave bank groups. */
-    kRowInterleaved,
-    /** bankgroup, bank, rank, column, row, channel — bank bits at the
-     *  LSB end, so consecutive lines stripe across banks first. */
-    kBankFirst,
-    /** column, row, bankgroup, bank, rank, channel — channel stays the
-     *  most-significant field but each bank's rows are physically
-     *  contiguous below it (no bank interleaving). */
-    kChannelLast,
-};
-
-/** All presets, for sweeps and tests. */
-inline constexpr MappingPreset kAllMappingPresets[] = {
-    MappingPreset::kRowInterleaved, MappingPreset::kBankFirst,
-    MappingPreset::kChannelLast};
-
-/** Field order of a preset (least to most significant). */
-std::array<Field, kNumFields> presetOrder(MappingPreset preset);
-
-/** Stable CLI/CSV name of a preset ("row-interleaved", ...). */
-const char *presetName(MappingPreset preset);
 
 /** Maps 64-bit physical addresses to DRAM coordinates and back. */
 class AddressMapper
 {
   public:
-    static constexpr std::uint32_t kLineBytes = 64;
+    static constexpr std::uint32_t kLineBytes =
+        MappingFunction::kLineBytes;
 
     /**
      * @param org Channel geometry.
      * @param channels Number of channels in the system.
-     * @param order Field order from least to most significant bits.
-     *        Must be a permutation of all six Fields (asserted): a
-     *        duplicated or missing field would silently corrupt
-     *        decode/compose round trips.
+     * @param spec Mapping description — a preset (implicitly
+     *        convertible), field order, or explicit XOR matrix.
+     *        Compilation asserts the spec is invertible against the
+     *        geometry; a non-invertible function would silently
+     *        corrupt decode/compose round trips.
      */
     AddressMapper(const Organization &org, std::uint32_t channels = 1,
-                  std::array<Field, kNumFields> order = {
-                      Field::kColumn, Field::kBankGroup, Field::kBank,
-                      Field::kRank, Field::kRow, Field::kChannel});
+                  const MappingSpec &spec = {});
 
-    /** Preset-order convenience constructor. */
+    /**
+     * Deprecated adapter for the pre-MappingSpec raw-field-order
+     * constructor. Equivalent to MappingSpec::fieldOrder(order).
+     */
+    [[deprecated("pass a MappingSpec (e.g. MappingSpec::fieldOrder)")]]
     AddressMapper(const Organization &org, std::uint32_t channels,
-                  MappingPreset preset)
-        : AddressMapper(org, channels, presetOrder(preset))
+                  std::array<Field, kNumFields> order)
+        : AddressMapper(org, channels, MappingSpec::fieldOrder(order))
     {
     }
 
@@ -90,25 +56,29 @@ class AddressMapper
     Address decode(std::uint64_t phys_addr) const;
 
     /** Encode coordinates back into a physical (line-aligned) address. */
-    std::uint64_t compose(const Address &addr) const;
+    std::uint64_t
+    compose(const Address &addr) const
+    {
+        return fn_.compose(addr);
+    }
 
     /** Size of the mapped physical address space in bytes. */
-    std::uint64_t capacityBytes() const { return capacity_; }
+    std::uint64_t capacityBytes() const { return fn_.capacityBytes(); }
 
-    std::uint32_t channels() const { return channels_; }
+    std::uint32_t channels() const { return fn_.channels(); }
 
     /** Channel geometry this mapper was built for. */
     const Organization &org() const { return org_; }
 
-  private:
-    std::uint32_t fieldSize(Field f) const;
+    /** The compiled mapping function (ground-truth XOR masks etc.). */
+    const MappingFunction &fn() const { return fn_; }
 
+    /** The declarative spec this mapper was compiled from. */
+    const MappingSpec &spec() const { return fn_.spec(); }
+
+  private:
     Organization org_;
-    std::uint32_t channels_;
-    std::array<Field, kNumFields> order_;
-    /** fieldSize per order_ slot. */
-    std::array<std::uint32_t, kNumFields> sizes_{};
-    std::uint64_t capacity_;
+    MappingFunction fn_;
 };
 
 } // namespace leaky::dram

@@ -11,13 +11,14 @@ namespace leaky::runner {
 namespace {
 
 void
-covertOneChannel(attack::ChannelKind kind, const std::string &message)
+covertOneChannel(attack::ChannelKind kind, const std::string &message,
+                 const dram::MappingSpec &mapping)
 {
     const char *name =
         kind == attack::ChannelKind::kPrac ? "PRAC" : "RFM (PRFM)";
     core::banner(std::string(name) + " covert channel");
 
-    const auto result = core::runMessageDemo(kind, message);
+    const auto result = core::runMessageDemo(kind, message, mapping);
 
     std::printf("sent bits:     ");
     for (bool b : result.sent_bits)
@@ -93,10 +94,12 @@ runQuickstartDemo()
 }
 
 int
-runCovertDemo(const std::string &message)
+runCovertDemo(const std::string &message, const std::string &mapping)
 {
-    covertOneChannel(attack::ChannelKind::kPrac, message);
-    covertOneChannel(attack::ChannelKind::kRfm, message);
+    const dram::MappingSpec spec = dram::MappingSpec::parse(mapping);
+    std::printf("address mapping: %s\n", spec.str().c_str());
+    covertOneChannel(attack::ChannelKind::kPrac, message, spec);
+    covertOneChannel(attack::ChannelKind::kRfm, message, spec);
     return 0;
 }
 
@@ -226,16 +229,22 @@ quickstartMain(int argc, char **argv, const char *prog)
 int
 covertMain(int argc, char **argv, const char *prog)
 {
+    const char *usage = "[--message <text>] [--mapping <spec>]";
     std::string message = "MICRO";
+    std::string mapping = "row-interleaved";
     FlagParser parser;
     parser.addString("message", &message, "text to transmit");
+    parser.addString("mapping", &mapping,
+                     "address mapping (preset|order:...|xor:...)");
     std::string error;
     if (!parser.parse(argc, argv, &error))
-        return usageError(prog, error, "[--message <text>]");
+        return usageError(prog, error, usage);
     if (message.empty())
-        return usageError(prog, "--message must be non-empty",
-                          "[--message <text>]");
-    return runCovertDemo(message);
+        return usageError(prog, "--message must be non-empty", usage);
+    dram::MappingSpec spec;
+    if (!dram::MappingSpec::tryParse(mapping, &spec, &error))
+        return usageError(prog, "bad --mapping: " + error, usage);
+    return runCovertDemo(message, mapping);
 }
 
 int

@@ -17,8 +17,11 @@ namespace leaky::runner {
 /** Listing-1 latency probe against PRAC; the Fig. 2 bands. */
 int runQuickstartDemo();
 
-/** Transmit @p message over the PRAC and RFM covert channels. */
-int runCovertDemo(const std::string &message);
+/** Transmit @p message over the PRAC and RFM covert channels, with
+ *  the system decoding through @p mapping (a validated MappingSpec —
+ *  preset, order:, or xor: form; see docs/EXPERIMENTS.md). */
+int runCovertDemo(const std::string &message,
+                  const std::string &mapping = "row-interleaved");
 
 /** Collect fingerprints, train the classifier, report accuracy. */
 int runFingerprintDemo(std::uint32_t sites, std::uint32_t loads);

@@ -24,10 +24,11 @@ namespace leaky::sys {
 /** Whole-system configuration. */
 struct SystemConfig {
     std::uint32_t channels = 1;
-    /** Physical-to-DRAM field order (§5.2 mapping diversity). The
-     *  mapped address space spans `channels` x the per-channel
-     *  capacity regardless of the order chosen. */
-    dram::MappingPreset mapping = dram::MappingPreset::kRowInterleaved;
+    /** Physical-to-DRAM mapping (§5.2 mapping diversity): a preset
+     *  name, field order, or XOR-function matrix. The mapped address
+     *  space spans `channels` x the per-channel capacity regardless
+     *  of the function chosen. */
+    dram::MappingSpec mapping;
     ctrl::CtrlConfig ctrl;          ///< Per-channel controller + DRAM.
     /** Applied to every channel: each channel gets its OWN defense
      *  instance, seeded independently (splitmix64 fan-out of

@@ -79,9 +79,10 @@ TEST(AddressMapperDeath, RejectsNonPermutationOrders)
     // kRow duplicated, kColumn missing: before validation this built a
     // mapper whose decode/compose round trips silently corrupted.
     EXPECT_DEATH(AddressMapper(org, 1,
-                               {Field::kRow, Field::kBankGroup,
-                                Field::kBank, Field::kRank, Field::kRow,
-                                Field::kChannel}),
+                               leaky::dram::MappingSpec::fieldOrder(
+                                   {Field::kRow, Field::kBankGroup,
+                                    Field::kBank, Field::kRank,
+                                    Field::kRow, Field::kChannel})),
                  "permutation");
 }
 
@@ -189,9 +190,10 @@ TEST(AddressMapper, AlternativeFieldOrderStillRoundTrips)
 {
     Organization org;
     AddressMapper mapper(org, 1,
-                         {Field::kBank, Field::kColumn, Field::kRank,
-                          Field::kBankGroup, Field::kRow,
-                          Field::kChannel});
+                         leaky::dram::MappingSpec::fieldOrder(
+                             {Field::kBank, Field::kColumn, Field::kRank,
+                              Field::kBankGroup, Field::kRow,
+                              Field::kChannel}));
     Address addr;
     addr.rank = 1;
     addr.bankgroup = 3;
@@ -201,6 +203,30 @@ TEST(AddressMapper, AlternativeFieldOrderStillRoundTrips)
     const auto back = mapper.decode(mapper.compose(addr));
     EXPECT_TRUE(back.sameRow(addr));
     EXPECT_EQ(back.column, addr.column);
+}
+
+/** The pre-MappingSpec raw-order constructor survives one release as
+ *  a deprecated adapter; it must keep behaving exactly like the
+ *  MappingSpec::fieldOrder spelling until it is removed. */
+TEST(AddressMapper, DeprecatedRawOrderCtorMatchesFieldOrderSpec)
+{
+    Organization org;
+    const std::array<Field, leaky::dram::kNumFields> order = {
+        Field::kBankGroup, Field::kBank, Field::kRank,
+        Field::kColumn,    Field::kRow,  Field::kChannel};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    AddressMapper legacy(org, 2, order);
+#pragma GCC diagnostic pop
+    AddressMapper modern(org, 2,
+                         leaky::dram::MappingSpec::fieldOrder(order));
+    // fieldOrder canonicalizes preset-equal orders onto the preset.
+    EXPECT_EQ(legacy.spec(), modern.spec());
+    EXPECT_EQ(legacy.spec().str(), "bank-first");
+    for (std::uint64_t phys : {0ull, 64ull, 4096ull, 987654321ull}) {
+        EXPECT_EQ(legacy.compose(legacy.decode(phys)),
+                  modern.compose(modern.decode(phys)));
+    }
 }
 
 } // namespace

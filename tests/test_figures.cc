@@ -68,7 +68,7 @@ TEST(FigureRegistry, ExposesTheFullCatalogue)
           "mitigation", "countermeasures", "counter-leak",
           "granularity", "trigger", "cross-defense",
           "tracker-threshold", "cross-channel", "channel-scaling",
-          "mapping-order"}) {
+          "mapping-order", "mapping-recovery"}) {
         EXPECT_NE(runner::findFigure(name), nullptr) << name;
     }
     EXPECT_EQ(runner::findFigure("nope"), nullptr);

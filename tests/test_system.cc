@@ -175,7 +175,8 @@ TEST(System, ScalingFiguresAreThreadCountInvariant)
     runner::RunOptions opts;
     opts.smoke = true;
     for (const char *name :
-         {"cross-channel", "channel-scaling", "mapping-order"}) {
+         {"cross-channel", "channel-scaling", "mapping-order",
+          "mapping-recovery"}) {
         const auto *figure = runner::findFigure(name);
         ASSERT_NE(figure, nullptr) << name;
         const auto spec = figure->make(opts);
