@@ -63,6 +63,22 @@ if [ "$BUILD_VARIANT" = default ]; then
     python3 tools/check_docs.py --names "$BUILD_DIR/figure_names.txt"
 fi
 
+# Fuzz smoke (default variant only): `leakyhammer fuzz` at a tiny
+# budget, run twice with the same seed — the search CSV and the
+# best-pattern serializations must be byte-identical (the fuzzer's
+# determinism contract, over and above the figure smoke above).
+if [ "$BUILD_VARIANT" = default ]; then
+    rm -rf "$BUILD_DIR/fuzz-a" "$BUILD_DIR/fuzz-b"
+    "$BUILD_DIR/leakyhammer" fuzz --smoke --seed 7 --threads 4 \
+        --out "$BUILD_DIR/fuzz-a"
+    "$BUILD_DIR/leakyhammer" fuzz --smoke --seed 7 --threads 1 \
+        --out "$BUILD_DIR/fuzz-b" > /dev/null
+    cmp "$BUILD_DIR/fuzz-a/fig_fuzz_search.csv" \
+        "$BUILD_DIR/fuzz-b/fig_fuzz_search.csv"
+    cmp "$BUILD_DIR/fuzz-a/fuzz_best.txt" "$BUILD_DIR/fuzz-b/fuzz_best.txt"
+    echo "fuzz smoke: artifacts bit-identical across runs and threads"
+fi
+
 # Campaign kill/resume smoke (default variant only -- the asan variant
 # already runs the same paths under the in-process death tests): crash
 # one shard via fault injection, resume, and require the merged CSV to

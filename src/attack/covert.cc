@@ -42,6 +42,7 @@ CovertSender::windowStart(std::size_t index)
 
     const std::uint8_t symbol = symbols_[index];
     loop_id_ += 1; // Invalidate any loop still draining in flight.
+    seq_pos_ = 0;  // Fuzz patterns restart at the head every window.
     if (symbol == 0) {
         active_ = false; // Idle window transmits logic-0.
         return;
@@ -62,10 +63,13 @@ CovertSender::accessLoop()
     port_.schedule(cfg_.iter_overhead + gap_, [this, id] {
         if (id != loop_id_ || !active_ || port_.now() >= window_end_)
             return;
-        const std::uint64_t addr =
-            (cfg_.sender_addr2 != 0 && (accesses_ & 1))
-                ? cfg_.sender_addr2
-                : cfg_.sender_addr;
+        std::uint64_t addr = (cfg_.sender_addr2 != 0 && (accesses_ & 1))
+                                 ? cfg_.sender_addr2
+                                 : cfg_.sender_addr;
+        if (!cfg_.sender_sequence.empty()) {
+            addr = cfg_.sender_sequence[seq_pos_];
+            seq_pos_ = (seq_pos_ + 1) % cfg_.sender_sequence.size();
+        }
         port_.issueRead(addr, cfg_.sender_source,
                         [this, id](Tick done) {
             accesses_ += 1;
@@ -279,6 +283,12 @@ runCovertChannel(sys::System &system, const CovertConfig &cfg,
                          cfg.sender_channel,
                  "sender_addr2 does not decode onto sender_channel %u",
                  cfg.sender_channel);
+    for (const std::uint64_t addr : cfg.sender_sequence)
+        LEAKY_ASSERT(system.mapper().decode(addr).channel ==
+                         cfg.sender_channel,
+                     "sender_sequence entry does not decode onto "
+                     "sender_channel %u",
+                     cfg.sender_channel);
     CovertSender sender(system, cfg);
     CovertReceiver receiver(system, cfg);
 

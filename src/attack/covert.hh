@@ -59,6 +59,15 @@ struct CovertConfig {
      * within one bank").
      */
     std::uint64_t sender_addr2 = 0;
+    /**
+     * Fuzzer-generated aggressor sequence (src/fuzz): when non-empty
+     * the sender walks these addresses cyclically during logic-1
+     * windows instead of the addr/addr2 alternation, restarting at the
+     * sequence head on every window start so the replay is a pure
+     * function of the pattern. All entries must decode onto
+     * sender_channel (asserted by runCovertChannel).
+     */
+    std::vector<std::uint64_t> sender_sequence;
     std::uint64_t receiver_addr = 0;
     std::int32_t sender_source = 200;
     std::int32_t receiver_source = 201;
@@ -114,6 +123,7 @@ class CovertSender
     std::uint64_t loop_id_ = 0; ///< Guards against duplicate loops.
     Tick mark_ = 0;
     std::uint64_t accesses_ = 0;
+    std::size_t seq_pos_ = 0; ///< Cursor into cfg_.sender_sequence.
 };
 
 /** Receiver process: measures its own latencies and decodes. */

@@ -794,34 +794,46 @@ attachNoise(sys::System &system, Tick noise_sleep)
 
 } // namespace
 
-attack::ChannelResult
-runCrossDefenseCell(DefenseKind kind, Tick noise_sleep,
-                    std::size_t message_bytes, std::uint64_t seed)
+sys::SystemConfig
+crossDefenseSystemConfig(DefenseKind kind)
 {
-    sys::SystemConfig sys_cfg;
     const bool prac_family = kind == DefenseKind::kPrac ||
                              kind == DefenseKind::kPracRiac ||
                              kind == DefenseKind::kPracBank;
     if (prac_family) {
-        sys_cfg = pracAttackSystem();
+        sys::SystemConfig sys_cfg = pracAttackSystem();
         sys_cfg.defense.kind = kind;
-    } else if (kind == DefenseKind::kPrfm) {
-        sys_cfg = prfmAttackSystem();
-    } else if (kind == DefenseKind::kGraphene ||
-               kind == DefenseKind::kHydra) {
-        sys_cfg = trackerAttackSystem(kind);
-    } else {
-        sys_cfg = sys::SystemConfig::paper(kind, 160);
+        return sys_cfg;
     }
+    if (kind == DefenseKind::kPrfm)
+        return prfmAttackSystem();
+    if (kind == DefenseKind::kGraphene || kind == DefenseKind::kHydra)
+        return trackerAttackSystem(kind);
+    return sys::SystemConfig::paper(kind, 160);
+}
+
+attack::CovertConfig
+crossDefenseChannelConfig(sys::System &system, DefenseKind kind)
+{
+    const bool prac_family = kind == DefenseKind::kPrac ||
+                             kind == DefenseKind::kPracRiac ||
+                             kind == DefenseKind::kPracBank;
+    if (prac_family)
+        return attack::makeChannelConfig(system, ChannelKind::kPrac);
+    if (kind == DefenseKind::kGraphene || kind == DefenseKind::kHydra)
+        return trackerChannelConfig(system);
+    return attack::makeChannelConfig(system, ChannelKind::kRfm);
+}
+
+attack::ChannelResult
+runCrossDefenseCell(DefenseKind kind, Tick noise_sleep,
+                    std::size_t message_bytes, std::uint64_t seed)
+{
+    sys::SystemConfig sys_cfg = crossDefenseSystemConfig(kind);
     sys_cfg.defense.seed = seed;
     sys::System system(sys_cfg);
 
-    attack::CovertConfig cfg =
-        prac_family
-            ? attack::makeChannelConfig(system, ChannelKind::kPrac)
-        : (kind == DefenseKind::kGraphene || kind == DefenseKind::kHydra)
-            ? trackerChannelConfig(system)
-            : attack::makeChannelConfig(system, ChannelKind::kRfm);
+    attack::CovertConfig cfg = crossDefenseChannelConfig(system, kind);
 
     auto noise = attachNoise(system, noise_sleep);
     const auto bits = attack::patternBits(

@@ -215,6 +215,20 @@ attack::ChannelResult runGranularityCell(attack::ChannelKind kind,
 
 // --------------------------------------- tracker family (cross-defense)
 
+/** System configuration of one cross-defense covert cell: the
+ *  family-appropriate attack operating point for @p kind (PRAC
+ *  NBO = 128, PRFM TRFM = 40, tracker NRH = 160, paper defaults
+ *  otherwise). Exposed for reuse — the pattern fuzzer (src/fuzz)
+ *  evaluates generated patterns in exactly this cell. */
+sys::SystemConfig crossDefenseSystemConfig(defense::DefenseKind kind);
+
+/** Receiver/channel configuration matching crossDefenseSystemConfig:
+ *  back-off detection for the PRAC family, slow-event counting for
+ *  the RFM/tracker families (targeted refreshes land in the RFM
+ *  latency band, above conflicts and below refreshes). */
+attack::CovertConfig crossDefenseChannelConfig(sys::System &system,
+                                               defense::DefenseKind kind);
+
 /** One cross-defense covert cell: the generic LeakyHammer sender vs a
  *  system protected by @p kind, with Eq.-2 noise at @p noise_sleep.
  *  The receiver strategy adapts to the defense's observable: back-off

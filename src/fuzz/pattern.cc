@@ -1,0 +1,259 @@
+#include "fuzz/pattern.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace leaky::fuzz {
+
+namespace {
+
+/** Strict unsigned parse: the whole token must be digits. */
+bool
+parseUint(const std::string &token, std::uint64_t *value,
+          std::string *error)
+{
+    if (token.empty()) {
+        *error = "expected an unsigned integer, got ''";
+        return false;
+    }
+    std::uint64_t v = 0;
+    for (char c : token) {
+        if (c < '0' || c > '9') {
+            *error = "expected an unsigned integer, got '" + token + "'";
+            return false;
+        }
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        if (v > 0xffffffffffULL) { // Far beyond any field's range.
+            *error = "value out of range: '" + token + "'";
+            return false;
+        }
+    }
+    *value = v;
+    return true;
+}
+
+/** `R@F/PxA` aggressor field. */
+bool
+parseAggressor(const std::string &token, Aggressor *out,
+               std::string *error)
+{
+    const auto at = token.find('@');
+    const auto slash = token.find('/', at == std::string::npos ? 0 : at);
+    const auto x = token.find('x', slash == std::string::npos ? 0 : slash);
+    if (at == std::string::npos || slash == std::string::npos ||
+        x == std::string::npos) {
+        *error = "malformed aggressor '" + token +
+                 "' (expected row@freq/phase" + "xamp)";
+        return false;
+    }
+    std::uint64_t row = 0, freq = 0, phase = 0, amp = 0;
+    if (!parseUint(token.substr(0, at), &row, error) ||
+        !parseUint(token.substr(at + 1, slash - at - 1), &freq, error) ||
+        !parseUint(token.substr(slash + 1, x - slash - 1), &phase,
+                   error) ||
+        !parseUint(token.substr(x + 1), &amp, error))
+        return false;
+    out->row = static_cast<std::uint32_t>(row);
+    out->freq = static_cast<std::uint32_t>(freq);
+    out->phase = static_cast<std::uint32_t>(phase);
+    out->amp = static_cast<std::uint32_t>(amp);
+    return true;
+}
+
+} // namespace
+
+std::string
+HammerPattern::str() const
+{
+    std::string out = "hp1:period=" + std::to_string(period) +
+                      ";gap=" + std::to_string(gap);
+    for (const auto &agg : aggressors) {
+        out += ";agg=" + std::to_string(agg.row) + "@" +
+               std::to_string(agg.freq) + "/" +
+               std::to_string(agg.phase) + "x" + std::to_string(agg.amp);
+    }
+    return out;
+}
+
+bool
+HammerPattern::validate(std::string *error) const
+{
+    if (period == 0 || period > kMaxPeriod) {
+        *error = "period out of range (1.." +
+                 std::to_string(kMaxPeriod) + ")";
+        return false;
+    }
+    if (gap > kMaxGap) {
+        *error = "gap out of range (0.." + std::to_string(kMaxGap) +
+                 " ticks)";
+        return false;
+    }
+    if (aggressors.empty()) {
+        *error = "needs at least one aggressor (agg=row@freq/phase" +
+                 std::string("xamp)");
+        return false;
+    }
+    if (aggressors.size() > kMaxAggressors) {
+        *error = "too many aggressors (max " +
+                 std::to_string(kMaxAggressors) + ")";
+        return false;
+    }
+    for (const auto &agg : aggressors) {
+        if (agg.row >= kMaxRows) {
+            *error = "row index out of range (0.." +
+                     std::to_string(kMaxRows - 1) + ")";
+            return false;
+        }
+        if (agg.freq == 0) {
+            *error = "frequency must be positive";
+            return false;
+        }
+        if (period % agg.freq != 0) {
+            *error = "frequency must divide the period (" +
+                     std::to_string(agg.freq) + " vs " +
+                     std::to_string(period) + ")";
+            return false;
+        }
+        if (agg.phase >= period / agg.freq) {
+            *error = "phase must be below period/frequency (" +
+                     std::to_string(agg.phase) + " vs " +
+                     std::to_string(period / agg.freq) + ")";
+            return false;
+        }
+        if (agg.amp == 0 || agg.amp > kMaxAmplitude) {
+            *error = "amplitude out of range (1.." +
+                     std::to_string(kMaxAmplitude) + ")";
+            return false;
+        }
+    }
+    if (accessesPerPeriod() > kMaxAccesses) {
+        *error = "pattern too dense (> " +
+                 std::to_string(kMaxAccesses) +
+                 " accesses per period)";
+        return false;
+    }
+    return true;
+}
+
+bool
+HammerPattern::tryParse(const std::string &text, HammerPattern *out,
+                        std::string *error)
+{
+    if (text.rfind("hp1:", 0) != 0) {
+        *error = "unknown pattern grammar (expected 'hp1:...')";
+        return false;
+    }
+    HammerPattern parsed;
+    parsed.aggressors.clear();
+    bool saw_period = false, saw_gap = false;
+
+    std::size_t pos = 4;
+    while (pos <= text.size()) {
+        const auto end = text.find(';', pos);
+        const std::string field =
+            text.substr(pos, end == std::string::npos ? std::string::npos
+                                                      : end - pos);
+        pos = end == std::string::npos ? text.size() + 1 : end + 1;
+
+        const auto eq = field.find('=');
+        if (eq == std::string::npos) {
+            *error = "field '" + field + "' has no '='";
+            return false;
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "period") {
+            if (saw_period) {
+                *error = "duplicate field 'period'";
+                return false;
+            }
+            saw_period = true;
+            std::uint64_t v = 0;
+            if (!parseUint(value, &v, error))
+                return false;
+            parsed.period = static_cast<std::uint32_t>(v);
+        } else if (key == "gap") {
+            if (saw_gap) {
+                *error = "duplicate field 'gap'";
+                return false;
+            }
+            saw_gap = true;
+            std::uint64_t v = 0;
+            if (!parseUint(value, &v, error))
+                return false;
+            parsed.gap = v;
+        } else if (key == "agg") {
+            Aggressor agg;
+            if (!parseAggressor(value, &agg, error))
+                return false;
+            parsed.aggressors.push_back(agg);
+        } else {
+            *error = "unknown field '" + key + "'";
+            return false;
+        }
+    }
+    if (!saw_period) {
+        *error = "pattern needs a period (period=<slots>)";
+        return false;
+    }
+    if (!parsed.validate(error))
+        return false;
+    *out = std::move(parsed);
+    return true;
+}
+
+HammerPattern
+HammerPattern::parse(const std::string &text)
+{
+    HammerPattern out;
+    std::string error;
+    const bool ok = tryParse(text, &out, &error);
+    LEAKY_ASSERT(ok, "invalid hammer pattern '%s': %s", text.c_str(),
+                 error.c_str());
+    return out;
+}
+
+std::uint32_t
+HammerPattern::rowCount() const
+{
+    std::uint32_t count = 0;
+    for (const auto &agg : aggressors)
+        count = std::max(count, agg.row + 1);
+    return count;
+}
+
+std::size_t
+HammerPattern::accessesPerPeriod() const
+{
+    std::size_t total = 0;
+    for (const auto &agg : aggressors)
+        total += static_cast<std::size_t>(agg.freq) * agg.amp;
+    return total;
+}
+
+void
+HammerPattern::expandInto(std::vector<std::uint32_t> *slots) const
+{
+    slots->clear();
+    for (std::uint32_t s = 0; s < period; ++s) {
+        for (const auto &agg : aggressors) {
+            const std::uint32_t step = period / agg.freq;
+            if (s % step != agg.phase)
+                continue;
+            for (std::uint32_t a = 0; a < agg.amp; ++a)
+                slots->push_back(agg.row);
+        }
+    }
+}
+
+std::vector<std::uint32_t>
+HammerPattern::expand() const
+{
+    std::vector<std::uint32_t> slots;
+    slots.reserve(accessesPerPeriod());
+    expandInto(&slots);
+    return slots;
+}
+
+} // namespace leaky::fuzz

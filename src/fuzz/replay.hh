@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic pattern replay: any serialized HammerPattern becomes a
+ * registry figure row. The catalogue pairs hand-written baselines
+ * (single / double / quad-row hammers, the shapes the paper's attacks
+ * use) with fuzzer-discovered patterns pinned by their canonical
+ * serialization — the fuzz-replay figure and the discovered-beats-
+ * baseline acceptance test both read it.
+ */
+
+#ifndef LEAKY_FUZZ_REPLAY_HH
+#define LEAKY_FUZZ_REPLAY_HH
+
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hh"
+
+namespace leaky::fuzz {
+
+/** One catalogue entry: a named, serialized pattern. */
+struct NamedPattern {
+    std::string name; ///< Stable row label (axis value in fuzz-replay).
+    std::string text; ///< Canonical "hp1:..." serialization.
+    bool discovered = false; ///< Fuzzer-found (vs hand-written baseline).
+};
+
+/** Baselines first, then pinned discoveries — order is the fuzz-replay
+ *  figure's pattern axis. Every entry parses and validates. */
+const std::vector<NamedPattern> &replayCatalogue();
+
+/**
+ * Replay @p p under @p spec and return the metric payload of one
+ * fuzz-replay CSV row: {capacity, symbol_error, score, actions,
+ * leakage}. The round-trip suite pins that replaying a parsed
+ * serialization yields byte-identical cells to the in-memory pattern.
+ */
+std::vector<double> replayRow(const HammerPattern &p, const EvalSpec &spec);
+
+/** Parse-then-replay (panics on malformed text, like parse()). */
+std::vector<double> replaySerialized(const std::string &text,
+                                     const EvalSpec &spec);
+
+} // namespace leaky::fuzz
+
+#endif // LEAKY_FUZZ_REPLAY_HH

@@ -9,8 +9,10 @@
 
 #include "campaign/campaign.hh"
 #include "core/report.hh"
+#include "fuzz/campaign.hh"
 #include "runner/demos.hh"
 #include "runner/figures.hh"
+#include "runner/figures_internal.hh"
 #include "runner/flags.hh"
 #include "runner/pool.hh"
 
@@ -35,6 +37,7 @@ printTopUsage()
         "  repro --fig <name>  reproduce a paper figure (CSV artifact)\n"
         "  campaign [flags]    sharded, resumable, kill-safe sweeps\n"
         "  run <demo> [flags]  run one narrated scenario demo\n"
+        "  fuzz [flags]        search the aggressor-pattern space\n"
         "  bench [flags]       measure sweep-runner throughput\n"
         "  help                this text\n"
         "\n"
@@ -449,6 +452,81 @@ cmdRun(int argc, char **argv)
     return usageError("unknown demo '" + demo + "'", "run");
 }
 
+// --------------------------------------------------------------- fuzz
+
+void
+addFuzzFlags(FlagParser &parser, unsigned *threads, bool *smoke,
+             bool *full, std::uint64_t *seed, std::string *out_dir)
+{
+    parser.addUint("threads", threads,
+                   "pool workers (0 = hardware concurrency)");
+    parser.addBool("smoke", smoke, "CI scale: tiny search budget");
+    parser.addBool("full", full, "paper scale (hours of simulation)");
+    parser.addUint64("seed", seed,
+                     "search seed (0 = default 1); drives both the "
+                     "pattern stream and the defense seeds");
+    parser.addString("out", out_dir, "output directory for artifacts");
+}
+
+int
+cmdFuzz(int argc, char **argv)
+{
+    RunOptions opts;
+    FlagParser parser;
+    addFuzzFlags(parser, &opts.threads, &opts.smoke, &opts.full,
+                 &opts.seed, &opts.out_dir);
+    std::string error;
+    if (!parser.parse(argc, argv, &error))
+        return usageError(error, "fuzz");
+
+    // One sweep job per defense = one complete sequential campaign, so
+    // both artifacts are byte-identical for any --threads value: the
+    // CSV because rows merge in job-index order, the best-pattern file
+    // because `best` slots are indexed by job, never by completion.
+    std::vector<fuzz::CampaignResult> best;
+    const SweepSpec spec = fuzzSearchSpec(opts, &best);
+    const std::vector<Job> jobs = expandJobs(spec);
+    std::printf("fuzz: %zu campaign(s), seed %llu\n", jobs.size(),
+                static_cast<unsigned long long>(spec.base_seed));
+    const SweepResult result = runSweep(spec, opts.threads);
+
+    if (!opts.out_dir.empty() && opts.out_dir != ".")
+        std::filesystem::create_directories(opts.out_dir);
+    const std::string csv_path =
+        (std::filesystem::path(opts.out_dir) / "fig_fuzz_search.csv")
+            .string();
+    writeFile(csv_path, toCsv(result));
+
+    std::string report;
+    core::Table table({"defense", "best score", "capacity (Kbps)",
+                       "error", "actions", "pattern"});
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto kind = static_cast<defense::DefenseKind>(
+            static_cast<int>(jobs[i].param("defense")));
+        const fuzz::PatternScore &top = best[i].best;
+        report += std::string("defense=") + defense::defenseName(kind) +
+                  " score=" + csvCell(top.score) +
+                  " capacity=" + csvCell(top.capacity) +
+                  " error=" + csvCell(top.error) +
+                  " actions=" + std::to_string(top.actions) +
+                  " pattern=" + top.pattern.str() + "\n";
+        table.addRow({defense::defenseName(kind),
+                      core::fmt(top.score / 1000.0, 1),
+                      core::fmt(top.capacity / 1000.0, 1),
+                      core::fmt(top.error, 3),
+                      std::to_string(top.actions), top.pattern.str()});
+    }
+    const std::string best_path =
+        (std::filesystem::path(opts.out_dir) / "fuzz_best.txt").string();
+    writeFile(best_path, report);
+
+    std::printf("%zu jobs in %.2f s\nwrote %s (%zu rows)\nwrote %s\n\n%s",
+                result.jobs, result.wall_seconds, csv_path.c_str(),
+                result.rows.size(), best_path.c_str(),
+                table.str().c_str());
+    return kOk;
+}
+
 // -------------------------------------------------------------- bench
 
 int
@@ -546,6 +624,23 @@ cmdHelp(int argc, char **argv)
             "  mitigation [--nrh <n>]     default 256\n");
         return kOk;
     }
+    if (topic == "fuzz") {
+        unsigned threads = 0;
+        bool smoke = false, full = false;
+        std::uint64_t seed = 0;
+        std::string out_dir;
+        addFuzzFlags(parser, &threads, &smoke, &full, &seed, &out_dir);
+        std::printf(
+            "usage: leakyhammer fuzz [flags]\n%s"
+            "\nRuns one evolutionary pattern campaign per defense on\n"
+            "the sweep pool and writes fig_fuzz_search.csv plus\n"
+            "fuzz_best.txt (the best discovered pattern per defense,\n"
+            "serialized — feed it back through the fuzz-replay\n"
+            "catalogue or parse it in code). Identical --seed gives\n"
+            "byte-identical artifacts for any --threads.\n",
+            parser.helpText().c_str());
+        return kOk;
+    }
     if (topic == "bench") {
         std::printf("usage: leakyhammer bench [--jobs <n>] "
                     "[--spin <n>]\n");
@@ -579,6 +674,8 @@ cliMain(int argc, char **argv)
             return cmdCampaign(argc - 2, argv + 2);
         if (command == "run")
             return cmdRun(argc - 2, argv + 2);
+        if (command == "fuzz")
+            return cmdFuzz(argc - 2, argv + 2);
         if (command == "bench")
             return cmdBench(argc - 2, argv + 2);
         if (command == "help" || command == "--help" || command == "-h")

@@ -6,6 +6,7 @@
  *   leakyhammer list                 figures + demos catalogue
  *   leakyhammer repro --fig <name>   parallel figure reproduction
  *   leakyhammer run <demo> [flags]   narrated single-scenario demos
+ *   leakyhammer fuzz [flags]         aggressor-pattern space search
  *   leakyhammer bench [flags]        sweep-runner throughput (jobs/s)
  *   leakyhammer help [command]
  *

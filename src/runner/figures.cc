@@ -56,7 +56,7 @@ figures()
         std::vector<Figure> all;
         for (auto family_of : {covertFigures, fingerprintFigures,
                                countermeasureFigures, trackerFigures,
-                               scalingFigures}) {
+                               scalingFigures, fuzzFigures}) {
             auto family = family_of();
             all.insert(all.end(),
                        std::make_move_iterator(family.begin()),

@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "fuzz/campaign.hh"
 #include "runner/figures.hh"
 
 namespace leaky::runner {
@@ -49,6 +50,18 @@ std::vector<Figure> fingerprintFigures();    ///< Figs. 9-10, T2, §10.3.
 std::vector<Figure> countermeasureFigures(); ///< Fig. 13, §9/11/12, T3.
 std::vector<Figure> trackerFigures();        ///< §13 generalisation.
 std::vector<Figure> scalingFigures();        ///< §5.2 topology/mapping.
+std::vector<Figure> fuzzFigures();           ///< Pattern fuzzer (src/fuzz).
+
+/**
+ * The fuzz-search sweep, shared between the fuzz-search figure and
+ * `leakyhammer fuzz`. When @p capture is non-null it is resized to the
+ * job count and each job ALSO stores its full CampaignResult (including
+ * the best pattern's serialization) at its job index — thread-safe
+ * because indices are distinct, deterministic because slots are merged
+ * by index, never by completion order.
+ */
+SweepSpec fuzzSearchSpec(const RunOptions &opts,
+                         std::vector<fuzz::CampaignResult> *capture);
 
 } // namespace leaky::runner
 

@@ -68,7 +68,8 @@ TEST(FigureRegistry, ExposesTheFullCatalogue)
           "mitigation", "countermeasures", "counter-leak",
           "granularity", "trigger", "cross-defense",
           "tracker-threshold", "cross-channel", "channel-scaling",
-          "mapping-order", "mapping-recovery"}) {
+          "mapping-order", "mapping-recovery", "fuzz-search",
+          "fuzz-replay"}) {
         EXPECT_NE(runner::findFigure(name), nullptr) << name;
     }
     EXPECT_EQ(runner::findFigure("nope"), nullptr);
@@ -134,6 +135,28 @@ TEST(FigureRegistry, PortedFigureIsThreadCountInvariant)
     ASSERT_TRUE(figure->summarize != nullptr);
     const auto summary = figure->summarize(serial);
     EXPECT_NE(summary.find("mean leak time"), std::string::npos);
+}
+
+// The fuzzer figures carry the same contract: a whole evolutionary
+// campaign (or replayed pattern) is one sweep job, so the merged CSV
+// is bit-identical on 1 vs 4 threads.
+TEST(FigureRegistry, FuzzFiguresAreThreadCountInvariant)
+{
+    for (const char *name : {"fuzz-search", "fuzz-replay"}) {
+        const auto *figure = runner::findFigure(name);
+        ASSERT_NE(figure, nullptr) << name;
+        const auto spec = figure->make(smokeOptions());
+        const auto serial = runner::runSweep(spec, 1);
+        const auto parallel = runner::runSweep(spec, 4);
+        ASSERT_FALSE(serial.rows.empty()) << name;
+        for (const auto &row : serial.rows)
+            EXPECT_EQ(row.size(), spec.columns.size()) << name;
+        EXPECT_EQ(serial.rows, parallel.rows) << name;
+        EXPECT_EQ(runner::toCsv(serial), runner::toCsv(parallel))
+            << name;
+        ASSERT_TRUE(figure->summarize != nullptr) << name;
+        EXPECT_FALSE(figure->summarize(serial).empty()) << name;
+    }
 }
 
 TEST(FigureRegistry, ReproduceWritesTheCsvArtifact)
