@@ -5,8 +5,19 @@
 #
 #   BUILD_VARIANT=default   -O2 -g, LEAKY_DCHECK on (the dev build)
 #   BUILD_VARIANT=asan      ASan + UBSan, checks on, halt on any report
+#   BUILD_VARIANT=tsan      ThreadSanitizer over the work-stealing
+#                           SweepPool: ctest + the 4-thread figure
+#                           smoke, halt on any data-race report
 #   BUILD_VARIANT=release   Release -DLEAKY_DCHECKS=OFF + the
 #                           bench-regression guard (tools/check_bench.py)
+#   BUILD_VARIANT=lint      static passes only, no build: leaky-lint
+#                           (tools/lint/leaky_lint.py; exit 2 = lint
+#                           violations, 3 = lint tool error) + advisory
+#                           clang-tidy over a compile_commands.json
+#                           export when clang-tidy is installed
+#
+# Every compiled variant configures with -DLEAKY_WERROR=ON (warnings
+# are errors in CI; the CMake default stays OFF for local dev).
 #
 # Other knobs: BUILD_DIR, JOBS, EXPECTED_FIGURES (see smoke_figures.sh),
 # LEAKY_BENCH_TOLERANCE (see check_bench.py). ccache is picked up
@@ -19,7 +30,38 @@ BUILD_VARIANT="${BUILD_VARIANT:-default}"
 BUILD_DIR="${BUILD_DIR:-build-ci-$BUILD_VARIANT}"
 JOBS="${JOBS:-$(nproc)}"
 
-CMAKE_ARGS=()
+usage() {
+    echo "usage: BUILD_VARIANT=<variant> ci/run_ci.sh" >&2
+    echo "  default   -O2 -g, LEAKY_DCHECK on (the dev build)" >&2
+    echo "  asan      ASan + UBSan, halt on any report" >&2
+    echo "  tsan      ThreadSanitizer, halt on any data race" >&2
+    echo "  release   Release, checks off, bench-regression guard" >&2
+    echo "  lint      leaky-lint + advisory clang-tidy (no build)" >&2
+}
+
+# ------------------------------------------------------------- lint
+# Static passes only: leaky-lint gates (its exit codes propagate:
+# 2 = violations, 3 = tool error), clang-tidy is advisory and runs
+# only when installed, over a compile_commands.json export (configure
+# only — no compilation needed).
+if [ "$BUILD_VARIANT" = lint ]; then
+    python3 tools/lint/leaky_lint.py src tests bench
+    if command -v clang-tidy > /dev/null; then
+        cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+              -DLEAKY_WERROR=ON > /dev/null
+        # .clang-tidy sets no WarningsAsErrors: findings print for the
+        # reviewer but do not gate (leaky-lint is the gating pass).
+        git ls-files 'src/*.cc' | xargs clang-tidy -p "$BUILD_DIR" \
+            --quiet || true
+        echo "clang-tidy: advisory pass complete"
+    else
+        echo "clang-tidy not found; advisory tidy pass skipped"
+    fi
+    echo "lint variant: leaky-lint clean"
+    exit 0
+fi
+
+CMAKE_ARGS=(-DLEAKY_WERROR=ON)
 case "$BUILD_VARIANT" in
   default)
     ;;
@@ -29,12 +71,22 @@ case "$BUILD_VARIANT" in
         "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all"
         "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=address,undefined")
     ;;
+  tsan)
+    CMAKE_ARGS+=(
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+        "-DCMAKE_CXX_FLAGS=-fsanitize=thread"
+        "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread")
+    # No suppressions file: the pool/controller code is expected to be
+    # race-free as written. Add per-entry-justified suppressions here
+    # only if a third-party library ever reports.
+    export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+    ;;
   release)
     CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Release -DLEAKY_DCHECKS=OFF)
     ;;
   *)
-    echo "run_ci.sh: unknown BUILD_VARIANT '$BUILD_VARIANT'" \
-         "(default | asan | release)" >&2
+    echo "run_ci.sh: unknown BUILD_VARIANT '$BUILD_VARIANT'" >&2
+    usage
     exit 2
     ;;
 esac
@@ -46,18 +98,22 @@ fi
 # bash < 4.4 (macOS ships 3.2).
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 cmake --build "$BUILD_DIR" -j "$JOBS"
-# ctest includes the golden differential suite (GoldenFigures.*), so
-# every variant — the asan build in particular — replays the figure
+# ctest includes the golden differential suite (GoldenFigures.*) and
+# the leaky-lint self-test + repo-clean checks (lint.*), so every
+# variant — the asan/tsan builds in particular — replays the figure
 # pipeline against tests/golden/ byte for byte.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 # Figure-registry smoke: every registered figure reproduces at --smoke
-# and its CSV is bit-identical on 4 threads vs 1 thread.
+# and its CSV is bit-identical on 4 threads vs 1 thread. Under tsan
+# this is also the data-race hunt over the work-stealing pool at real
+# parallelism.
 ci/smoke_figures.sh "$BUILD_DIR/leakyhammer" "$BUILD_DIR/repro"
 
 # Docs gate (default variant only -- the docs don't change per build
 # flavour): docs/FIGURES.md must cover exactly the figure registry the
-# binary reports, and every relative markdown link must resolve.
+# binary reports, docs/LINTING.md must cover exactly the leaky-lint
+# rule set, and every relative markdown link must resolve.
 if [ "$BUILD_VARIANT" = default ]; then
     "$BUILD_DIR/leakyhammer" list --names > "$BUILD_DIR/figure_names.txt"
     python3 tools/check_docs.py --names "$BUILD_DIR/figure_names.txt"

@@ -144,12 +144,15 @@ runShard(const runner::SweepSpec &spec, const ManifestMeta &meta,
         std::string last_error;
         for (unsigned attempt = 1; attempt <= attempts_max; ++attempt) {
             try {
+                // lint:allow(no-wallclock): deadline_ms guards against hung jobs in real time; rows stay tick-determined
                 const auto start = std::chrono::steady_clock::now();
                 fault.onJobStart();
                 const auto rows = spec.job(jobs[index]);
+                // lint:allow(no-wallclock): paired with the deadline start timestamp above
+                const auto end = std::chrono::steady_clock::now();
                 const double elapsed_ms =
                     std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
+                        end - start)
                         .count();
                 if (config.deadline_ms != 0 &&
                     elapsed_ms > config.deadline_ms)

@@ -139,10 +139,27 @@ void
 PracDefense::resetTopCounter(const std::vector<std::uint32_t> &flat_banks)
 {
     std::uint32_t *top = nullptr;
+    std::uint32_t top_count = 0;
     for (auto fb : flat_banks) {
+        // Within a bank, pick the hottest row with the lowest row id
+        // on ties — an explicit total order, so the serviced row never
+        // depends on unordered_map iteration order (which is not part
+        // of the bit-identical reproduction contract). Cross-bank ties
+        // keep the earliest bank in the command's scope order.
+        std::uint32_t *best = nullptr;
+        std::uint32_t best_count = 0;
+        std::uint32_t best_row = 0;
         for (auto &entry : banks_[fb].rows) {
-            if (!top || entry.second > *top)
-                top = &entry.second;
+            if (!best || entry.second > best_count ||
+                (entry.second == best_count && entry.first < best_row)) {
+                best = &entry.second;
+                best_count = entry.second;
+                best_row = entry.first;
+            }
+        }
+        if (best && (!top || best_count > top_count)) {
+            top = best;
+            top_count = best_count;
         }
     }
     // Refreshing the victims of the top aggressor resets its counter;

@@ -34,6 +34,7 @@ SweepResult
 runSweep(const SweepSpec &spec, SweepPool &pool)
 {
     const auto jobs = expandJobs(spec);
+    // lint:allow(no-wallclock): wall_seconds is operator telemetry (how long the sweep took), never a result row
     const auto start = std::chrono::steady_clock::now();
 
     // One slot per job: workers write disjoint slots, no locking, and
@@ -54,10 +55,10 @@ runSweep(const SweepSpec &spec, SweepPool &pool)
     for (auto &rows : per_job)
         for (auto &row : rows)
             result.rows.push_back(std::move(row));
+    // lint:allow(no-wallclock): paired with the start timestamp above
+    const auto end = std::chrono::steady_clock::now();
     result.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+        std::chrono::duration<double>(end - start).count();
     if (!errors.empty()) {
         std::vector<JobFailure> failures;
         failures.reserve(errors.size());

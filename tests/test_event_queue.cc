@@ -14,10 +14,10 @@
 #include <cstdlib>
 #include <functional>
 #include <new>
-#include <random>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 #include "testing_alloc_counter.hh"
 
 /** Allocation counter: this replaces the global allocator for the whole
@@ -354,9 +354,9 @@ TEST(EventQueue, SteadyStateSchedulingDoesNotAllocate)
 
 TEST(EventQueueProperty, WheelMatchesReferenceHeapOrder)
 {
-    std::mt19937 rng(0xC0FFEE);
+    leaky::sim::Rng rng(0xC0FFEE);
     const auto rnd = [&rng](std::uint64_t bound) {
-        return static_cast<std::uint64_t>(rng()) % bound;
+        return rng.below(bound);
     };
     // Delta magnitudes chosen to hit wheel levels 0..5 and the heap
     // fallback (one full horizon past wheel_now_).

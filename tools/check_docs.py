@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs gate: keep the documentation verifiably in sync with the code.
 
-Three checks, stdlib-only so CI and laptops run it with any Python 3:
+Four checks, stdlib-only so CI and laptops run it with any Python 3:
 
 1. **Figure catalogue coverage** (needs --names): every figure name the
    `leakyhammer` binary registers must have a `### `name`` entry in
@@ -18,7 +18,13 @@ Three checks, stdlib-only so CI and laptops run it with any Python 3:
    figure — goldens can neither lag behind the registry nor outlive a
    deleted figure silently.
 
-3. **Link resolution** (always): every relative markdown link in
+3. **Lint-rule catalogue coverage** (always): docs/LINTING.md must hold
+   a `### `rule-id`` heading for exactly the rule ids the leaky-lint
+   registry exposes (the same set `tools/lint/leaky_lint.py
+   --list-rules` prints, meta rules included) — the rule catalogue can
+   neither lag behind nor run ahead of the analyzer.
+
+4. **Link resolution** (always): every relative markdown link in
    README.md and docs/*.md must point at an existing file. External
    (http/https/mailto) links and pure #anchors are skipped; a trailing
    #fragment on a relative link is stripped before the check.
@@ -122,6 +128,50 @@ def check_goldens(names_path, golden_dir, failures):
         print("check_docs: goldens in sync (%d figures)" % len(goldens))
 
 
+def check_lint_rules(root, failures):
+    """docs/LINTING.md headings <-> the leaky-lint rule registry.
+
+    Imports the same registry `leaky_lint.py --list-rules` prints, so
+    the doc check and the tool cannot disagree about what a rule is.
+    """
+    sys.path.insert(0, os.path.join(root, "tools", "lint"))
+    try:
+        import rules as lint_rules
+    except Exception as err:  # Import failure is a docs-gate failure.
+        failures.append(
+            "cannot import the tools/lint rules package: %s" % err)
+        return
+    registered = lint_rules.all_rule_ids()
+    linting_md = os.path.join(root, "docs", "LINTING.md")
+    try:
+        with open(linting_md) as fh:
+            documented = [m.group(1) for m in
+                          (HEADING_RE.match(line) for line in fh) if m]
+    except OSError as err:
+        failures.append("cannot read %s: %s" % (linting_md, err))
+        return
+    for rule_id in registered:
+        if rule_id not in documented:
+            failures.append(
+                "lint rule '%s' is registered but has no '### `%s`' "
+                "entry in docs/LINTING.md" % (rule_id, rule_id))
+    for rule_id in documented:
+        if rule_id not in registered:
+            failures.append(
+                "docs/LINTING.md documents rule '%s', which "
+                "leaky_lint.py does not register (stale entry?)"
+                % rule_id)
+    seen = set()
+    for rule_id in documented:
+        if rule_id in seen:
+            failures.append(
+                "docs/LINTING.md documents rule '%s' twice" % rule_id)
+        seen.add(rule_id)
+    if not failures:
+        print("check_docs: lint-rule catalogue in sync (%d rules)"
+              % len(registered))
+
+
 def check_links(files, failures):
     checked = 0
     for path in files:
@@ -170,6 +220,7 @@ def main(argv):
                       args.golden_dir or os.path.join(root, "tests",
                                                       "golden"),
                       failures)
+    check_lint_rules(root, failures)
     check_links(doc_files(root), failures)
 
     for failure in failures:

@@ -1,0 +1,213 @@
+"""Comment/string/raw-string aware C++ lexer for leaky-lint.
+
+A deliberately small scanner: it does not parse C++, it produces a flat
+token stream precise enough that rules never fire on text inside
+comments, string literals, character literals, or raw strings — the
+failure mode that makes naive ``grep`` acceptance checks (PR 5's
+``controller(0)`` grep) unsound as permanent invariants.
+
+Token kinds:
+
+  ``ident``    identifiers and keywords (``static_assert`` is ONE token,
+               so assertion rules exempt it for free)
+  ``number``   pp-numbers (ints, floats, hex, digit separators)
+  ``string``   string literals, including encoding prefixes and raw
+               strings ``R"delim(...)delim"``
+  ``char``     character literals
+  ``punct``    operators/punctuators, maximal munch (``==`` is one
+               token, so ``=`` inside a DCHECK is a real assignment)
+  ``comment``  ``//`` and ``/* */`` comments, preserved because the
+               waiver grammar lives in them
+
+Backslash-newline line splices are honoured inside line comments and
+ordinary string literals (but, per the standard, not inside raw
+strings). Unterminated block comments or raw strings raise
+:class:`LexError` — a tool error (exit 3), never silently mislexed.
+"""
+
+import re
+from collections import namedtuple
+
+Token = namedtuple("Token", ["kind", "text", "line"])
+
+
+class LexError(Exception):
+    """Input that cannot be soundly tokenized (tool error, exit 3)."""
+
+    def __init__(self, line, message):
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+# Longest first so maximal munch falls out of a linear scan.
+_PUNCTS = (
+    ">>=", "<<=", "...", "->*", "##",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+# pp-number: digits with ' separators, hex/bin prefixes, float
+# exponents (e/E for decimal, p/P for hex) with optional sign, and any
+# trailing literal suffix (which scans as identifier chars).
+_NUMBER_RE = re.compile(
+    r"\.?\d(?:[\w.']|[eEpP][+-])*")
+
+# Encoding prefix of a string/char literal that may precede " or '.
+_STR_PREFIXES = ("u8", "u", "U", "L")
+
+
+def lex(text):
+    """Tokenize ``text``; returns a list of :class:`Token`."""
+    tokens = []
+    i = 0
+    n = len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "\\" and i + 1 < n and text[i + 1] == "\n":
+            line += 1
+            i += 2
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            i, line, tok = _line_comment(text, i, line)
+            tokens.append(tok)
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            i, line, tok = _block_comment(text, i, line)
+            tokens.append(tok)
+            continue
+        lit = _try_literal(text, i, line)
+        if lit is not None:
+            i, line, tok = lit
+            tokens.append(tok)
+            continue
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token("ident", text[i:j], line))
+            i = j
+            continue
+        if c in _DIGITS or (c == "." and i + 1 < n and
+                            text[i + 1] in _DIGITS):
+            m = _NUMBER_RE.match(text, i)
+            tokens.append(Token("number", m.group(0), line))
+            i = m.end()
+            continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens
+
+
+def _line_comment(text, i, line):
+    start = i
+    start_line = line
+    n = len(text)
+    while i < n:
+        if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+            line += 1  # Spliced line comment continues.
+            i += 2
+            continue
+        if text[i] == "\n":
+            break
+        i += 1
+    return i, line, Token("comment", text[start:i], start_line)
+
+
+def _block_comment(text, i, line):
+    start = i
+    start_line = line
+    end = text.find("*/", i + 2)
+    if end == -1:
+        raise LexError(start_line, "unterminated block comment")
+    body = text[start:end + 2]
+    return end + 2, line + body.count("\n"), \
+        Token("comment", body, start_line)
+
+
+def _try_literal(text, i, line):
+    """Match a string/char literal (with prefix / rawness) at i."""
+    j = i
+    n = len(text)
+    for p in _STR_PREFIXES:
+        if text.startswith(p, j) and j + len(p) < n and \
+                text[j + len(p)] in "\"'R":
+            # Reject identifiers like `u8something`: the prefix must
+            # abut the quote or an R that abuts a quote.
+            k = j + len(p)
+            if text[k] in "\"'" or (text[k] == "R" and k + 1 < n and
+                                    text[k + 1] == '"'):
+                j = k
+                break
+    if j < n and text[j] == "R" and j + 1 < n and text[j + 1] == '"':
+        return _raw_string(text, i, j, line)
+    if j < n and text[j] == '"':
+        return _quoted(text, i, j, line, '"', "string")
+    if j < n and text[j] == "'":
+        if j == i and not _is_char_literal(text, i):
+            return None  # A lone ' separator-ish context; not expected.
+        return _quoted(text, i, j, line, "'", "char")
+    return None
+
+
+def _is_char_literal(text, i):
+    return text[i] == "'"
+
+
+def _quoted(text, start, open_idx, line, quote, kind):
+    i = open_idx + 1
+    n = len(text)
+    lines = 0
+    while i < n:
+        c = text[i]
+        if c == "\\":
+            if i + 1 < n and text[i + 1] == "\n":
+                lines += 1
+            i += 2
+            continue
+        if c == "\n":
+            raise LexError(line, "unterminated %s literal" % kind)
+        if c == quote:
+            return i + 1, line + lines, \
+                Token(kind, text[start:i + 1], line)
+        i += 1
+    raise LexError(line, "unterminated %s literal" % kind)
+
+
+def _raw_string(text, start, r_idx, line):
+    # R"delim( ... )delim" — no escapes, no splices, delim up to 16
+    # chars of non-parenthesis/space/backslash.
+    open_paren = text.find("(", r_idx + 2)
+    if open_paren == -1 or open_paren - (r_idx + 2) > 16:
+        raise LexError(line, "malformed raw string delimiter")
+    delim = text[r_idx + 2:open_paren]
+    closer = ")" + delim + '"'
+    end = text.find(closer, open_paren + 1)
+    if end == -1:
+        raise LexError(line, "unterminated raw string")
+    body = text[start:end + len(closer)]
+    return end + len(closer), line + body.count("\n"), \
+        Token("string", body, line)
+
+
+def code_tokens(tokens):
+    """The token stream with comments removed (what rules scan)."""
+    return [t for t in tokens if t.kind != "comment"]

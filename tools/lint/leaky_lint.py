@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""leaky-lint: project-invariant static analyzer for leakyhammer.
+
+The repo's reproduction guarantees (bit-identical CSVs for any
+thread/shard count, all randomness through ``sim::seedFanout``,
+zero-allocation steady state) are enforced dynamically by tests — but
+only on the paths CI happens to execute. This tool proves the cheap
+half of those contracts *at rest*: it tokenizes every C++ file with a
+comment/string/raw-string aware lexer (``cpplex.py``) and runs the
+rule set in ``rules/`` over the token stream, so a banned construct in
+a comment or string can never fire and a real one can never hide.
+
+Usage::
+
+    python3 tools/lint/leaky_lint.py src tests bench
+    python3 tools/lint/leaky_lint.py --list-rules
+
+Diagnostics are printed one per line in the pinned format::
+
+    file:line: [rule-id] message
+
+Waivers: a violation is suppressed by a line comment ::
+
+    // lint:allow(rule-id): reason
+
+placed either on the offending line (trailing) or alone on the line
+above it. The reason is mandatory; a waiver that names an unknown rule
+or suppresses nothing is itself an error (``bad-waiver`` /
+``unused-waiver``), so stale waivers cannot accumulate.
+
+Exit status: 0 = clean, 2 = at least one diagnostic, 3 = tool error
+(unreadable file, lexer failure, bad invocation).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpplex  # noqa: E402
+import rules as rules_pkg  # noqa: E402
+from rules.base import FileContext  # noqa: E402
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 2
+EXIT_TOOL_ERROR = 3
+
+EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp", ".h", ".cxx")
+
+WAIVER_RE = re.compile(r"lint:allow\(([^)]*)\)\s*(?::\s*(.*))?\s*$")
+
+
+class ToolError(Exception):
+    pass
+
+
+class Parser(argparse.ArgumentParser):
+    """argparse, but bad invocations are tool errors (exit 3), keeping
+    exit 2 unambiguous for 'violations found'."""
+
+    def error(self, message):
+        self.print_usage(sys.stderr)
+        print("%s: error: %s" % (self.prog, message), file=sys.stderr)
+        sys.exit(EXIT_TOOL_ERROR)
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+
+
+def discover(paths):
+    """All C++ files under the given paths, sorted, duplicates removed."""
+    files = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames
+                               if not d.startswith(("build", "."))]
+                for name in sorted(filenames):
+                    if name.endswith(EXTENSIONS):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            raise ToolError("no such file or directory: %s" % path)
+    seen = set()
+    unique = []
+    for f in files:
+        key = os.path.abspath(f)
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def rel_to_root(path, root):
+    abspath = os.path.abspath(path)
+    if abspath.startswith(root + os.sep):
+        return os.path.relpath(abspath, root).replace(os.sep, "/")
+    return path.replace(os.sep, "/")
+
+
+class Waiver:
+    def __init__(self, rule_id, target_line, comment_line):
+        self.rule_id = rule_id
+        self.target_line = target_line
+        self.comment_line = comment_line
+        self.used = False
+
+
+def parse_waivers(tokens, relpath, known_ids):
+    """Extract waivers from `//` comments; returns (waivers, bad).
+
+    ``bad`` is a list of (line, message) for malformed waivers. A
+    trailing comment (code precedes it on the same line) targets its
+    own line; a comment alone on its line targets the next line that
+    holds a code token.
+    """
+    waivers = []
+    bad = []
+    for idx, tok in enumerate(tokens):
+        if tok.kind != "comment" or not tok.text.startswith("//"):
+            continue
+        if "lint:allow" not in tok.text:
+            continue
+        m = WAIVER_RE.search(tok.text)
+        if not m:
+            bad.append((tok.line,
+                        "malformed waiver; expected "
+                        "'// lint:allow(rule-id): reason'"))
+            continue
+        rule_id = m.group(1).strip()
+        reason = (m.group(2) or "").strip()
+        if rule_id not in known_ids:
+            bad.append((tok.line,
+                        "waiver names unknown rule '%s' (see "
+                        "--list-rules)" % rule_id))
+            continue
+        if rule_id in rules_pkg.META_RULE_IDS:
+            bad.append((tok.line,
+                        "meta rule '%s' cannot be waived" % rule_id))
+            continue
+        if not reason:
+            bad.append((tok.line,
+                        "waiver for '%s' gives no reason; the reason "
+                        "is part of the grammar" % rule_id))
+            continue
+        target = _waiver_target(tokens, idx)
+        waivers.append(Waiver(rule_id, target, tok.line))
+    return waivers, bad
+
+
+def _waiver_target(tokens, comment_idx):
+    line = tokens[comment_idx].line
+    for prev in reversed(tokens[:comment_idx]):
+        if prev.line < line:
+            break
+        if prev.kind != "comment":
+            return line  # Trailing comment: waives its own line.
+    for nxt in tokens[comment_idx + 1:]:
+        if nxt.kind != "comment":
+            return nxt.line  # Own-line comment: waives the next code line.
+    return line
+
+
+def lint_file(path, relpath, active_rules, known_ids):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError as err:
+        raise ToolError("cannot read %s: %s" % (path, err))
+    try:
+        tokens = cpplex.lex(text)
+    except cpplex.LexError as err:
+        raise ToolError("%s: lexer failure: %s" % (relpath, err))
+    code = cpplex.code_tokens(tokens)
+    sibling = []
+    if relpath.endswith(".cc"):
+        header = os.path.splitext(path)[0] + ".hh"
+        if os.path.isfile(header):
+            try:
+                with open(header, encoding="utf-8",
+                          errors="replace") as fh:
+                    sibling = cpplex.code_tokens(cpplex.lex(fh.read()))
+            except (OSError, cpplex.LexError):
+                sibling = []  # The header is linted on its own pass.
+    ctx = FileContext(relpath, code, sibling)
+
+    diags = []  # (line, rule_id, message)
+    for rule in active_rules:
+        if not rule.applies(relpath):
+            continue
+        for line, message in rule.check(ctx):
+            diags.append((line, rule.rule_id, message))
+
+    waivers, bad = parse_waivers(tokens, relpath, known_ids)
+    kept = []
+    for line, rule_id, message in diags:
+        suppressed = False
+        for w in waivers:
+            if w.rule_id == rule_id and w.target_line == line:
+                w.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append((line, rule_id, message))
+    for line, message in bad:
+        kept.append((line, "bad-waiver", message))
+    for w in waivers:
+        if not w.used:
+            kept.append((w.comment_line, "unused-waiver",
+                         "waiver for '%s' suppressed no diagnostic; "
+                         "delete it or move it onto the offending "
+                         "line" % w.rule_id))
+    return [(relpath, line, rule_id, message)
+            for line, rule_id, message in kept]
+
+
+def main(argv):
+    parser = Parser(
+        prog="leaky_lint.py",
+        description="Static analyzer for leakyhammer's project "
+                    "invariants (see docs/LINTING.md).")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(e.g. src tests bench)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule id (one per line) and "
+                             "exit; includes the bad-waiver / "
+                             "unused-waiver meta rules")
+    parser.add_argument("--verbose", action="store_true",
+                        help="with --list-rules, add one-line "
+                             "summaries")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        summaries = rules_pkg.rule_summaries()
+        for rule_id in rules_pkg.all_rule_ids():
+            if args.verbose:
+                print("%-42s %s" % (rule_id, summaries[rule_id]))
+            else:
+                print(rule_id)
+        return EXIT_CLEAN
+    if not args.paths:
+        parser.error("no paths given (try: src tests bench)")
+
+    root = repo_root()
+    known_ids = set(rules_pkg.all_rule_ids())
+    diagnostics = []
+    try:
+        files = discover(args.paths)
+        for path in files:
+            relpath = rel_to_root(path, root)
+            diagnostics.extend(
+                lint_file(path, relpath, rules_pkg.ALL_RULES,
+                          known_ids))
+    except ToolError as err:
+        print("leaky_lint: error: %s" % err, file=sys.stderr)
+        return EXIT_TOOL_ERROR
+
+    diagnostics.sort(key=lambda d: (d[0], d[1], d[2]))
+    for relpath, line, rule_id, message in diagnostics:
+        print("%s:%d: [%s] %s" % (relpath, line, rule_id, message))
+    if diagnostics:
+        print("leaky_lint: %d diagnostic(s) in %d file(s)"
+              % (len(diagnostics),
+                 len({d[0] for d in diagnostics})), file=sys.stderr)
+        return EXIT_VIOLATIONS
+    print("leaky_lint: %d file(s) clean" % len(files),
+          file=sys.stderr)
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

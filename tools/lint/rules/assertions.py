@@ -1,0 +1,60 @@
+"""Assertion hygiene rules.
+
+``LEAKY_ASSERT`` is on in every build; ``LEAKY_DCHECK`` compiles out
+under ``-DLEAKY_DCHECKS=OFF`` (the release/perf configuration). Two
+invariants follow: raw ``assert`` (whose availability depends on
+``NDEBUG``, which this repo deliberately does not key checks on) is
+banned, and a ``LEAKY_DCHECK`` may not contain side effects — an
+increment inside one runs in the dev build and vanishes in release,
+the classic heisenbug.
+"""
+
+from .base import Rule, calls_of, in_dir, match_close
+
+_MUTATING_PUNCTS = frozenset((
+    "++", "--", "=", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "<<=", ">>=",
+))
+
+
+class NoRawAssert(Rule):
+    rule_id = "no-raw-assert"
+    summary = ("Use LEAKY_ASSERT / LEAKY_DCHECK instead of raw "
+               "assert() (static_assert is exempt)")
+
+    def applies(self, relpath):
+        return in_dir(relpath, "src", "tests", "bench")
+
+    def check(self, ctx):
+        # static_assert lexes as its own identifier, so only the bare
+        # C assert macro can match here.
+        return [(ctx.tokens[i].line,
+                 "raw assert(); use LEAKY_ASSERT (always on) or "
+                 "LEAKY_DCHECK (hot paths, off in perf builds)")
+                for i in calls_of(ctx.tokens, "assert")]
+
+
+class NoSideEffectDchecks(Rule):
+    rule_id = "no-side-effect-dchecks"
+    summary = ("No ++/--/assignment inside LEAKY_DCHECK(...): it "
+               "compiles out under -DLEAKY_DCHECKS=OFF")
+
+    def applies(self, relpath):
+        return in_dir(relpath, "src", "tests", "bench")
+
+    def check(self, ctx):
+        out = []
+        toks = ctx.tokens
+        for i in calls_of(toks, "LEAKY_DCHECK"):
+            close = match_close(toks, i + 1)
+            if close is None:
+                continue
+            for t in toks[i + 2:close]:
+                if t.kind == "punct" and t.text in _MUTATING_PUNCTS:
+                    out.append(
+                        (t.line,
+                         "side effect ('%s') inside LEAKY_DCHECK; the "
+                         "expression is removed entirely when "
+                         "LEAKY_DCHECKS=OFF" % t.text))
+                    break
+        return out

@@ -1,0 +1,72 @@
+"""Shared infrastructure for leaky-lint rules."""
+
+
+class FileContext:
+    """Everything a rule may inspect about one file.
+
+    ``tokens`` is the comment-stripped token stream of the file itself;
+    ``sibling_tokens`` is the stream of the sibling header (``foo.hh``
+    next to ``foo.cc``) when one exists, so rules that need member
+    declarations (the unordered-container rule) see class members
+    declared in the header a ``.cc`` file implements. That one hop is
+    the only cross-file knowledge in the tool — by design: rules must
+    stay sound under it, not depend on whole-program resolution.
+    """
+
+    def __init__(self, relpath, tokens, sibling_tokens=()):
+        self.relpath = relpath
+        self.tokens = tokens
+        self.sibling_tokens = list(sibling_tokens)
+
+
+class Rule:
+    rule_id = None
+    summary = None
+
+    def applies(self, relpath):
+        raise NotImplementedError
+
+    def check(self, ctx):
+        raise NotImplementedError
+
+
+def in_dir(relpath, *prefixes):
+    return any(relpath == p or relpath.startswith(p + "/")
+               for p in prefixes)
+
+
+def match_close(tokens, open_idx, open_text="(", close_text=")"):
+    """Index of the token matching ``tokens[open_idx]``, or None.
+
+    Nesting-aware over the single open/close pair given; the token
+    stream has comments/strings already collapsed, so parentheses in
+    literals cannot confuse the count.
+    """
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        t = tokens[i]
+        if t.kind != "punct":
+            continue
+        if t.text == open_text:
+            depth += 1
+        elif t.text == close_text:
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
+
+
+def calls_of(tokens, name):
+    """Indices i where tokens[i] is ident ``name`` followed by '('."""
+    out = []
+    for i, t in enumerate(tokens):
+        if t.kind == "ident" and t.text == name and \
+                i + 1 < len(tokens) and tokens[i + 1].kind == "punct" \
+                and tokens[i + 1].text == "(":
+            out.append(i)
+    return out
+
+
+def prev_code(tokens, i):
+    """The token before index i, or None at the start."""
+    return tokens[i - 1] if i > 0 else None

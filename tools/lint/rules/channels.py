@@ -1,0 +1,41 @@
+"""Explicit-channel rule.
+
+PR 5 fixed the dormant multi-channel path by threading explicit target
+channels through every attack, and its acceptance check was a raw
+``grep -rn "controller(0)"``. This rule re-encodes that check as a
+permanent, lexer-aware invariant: attack and experiment code may never
+read controller state through a hard-coded channel index — not 0, not
+any literal — because a literal silently pins the code to one channel
+and reintroduces the cross-channel aggregation bugs PR 5 removed.
+"""
+
+from .base import Rule, in_dir
+
+_ACCESSORS = frozenset(("controller", "stats"))
+
+
+class ExplicitChannel(Rule):
+    rule_id = "explicit-channel"
+    summary = ("Attack/experiment code must not index controllers or "
+               "channel stats with an integer literal")
+
+    def applies(self, relpath):
+        return in_dir(relpath, "src/attack", "src/core")
+
+    def check(self, ctx):
+        out = []
+        toks = ctx.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or t.text not in _ACCESSORS:
+                continue
+            if i + 3 >= len(toks):
+                continue
+            if toks[i + 1].text == "(" and \
+                    toks[i + 2].kind == "number" and \
+                    toks[i + 3].text == ")":
+                out.append(
+                    (t.line,
+                     "hard-coded channel index '%s(%s)'; thread the "
+                     "target channel through explicitly (PR 5 "
+                     "contract)" % (t.text, toks[i + 2].text)))
+        return out

@@ -1,0 +1,167 @@
+"""Signal-handler safety rule.
+
+Pins the contract documented at the top of ``src/campaign/campaign.cc``:
+a function installed via ``std::signal`` executes at arbitrary points,
+so its body may touch only ``volatile std::sig_atomic_t`` variables and
+lock-free atomics — no locks, no allocation, no stdio, no reads of
+ordinary globals. The rule resolves each installed handler to its
+definition in the same file (handlers must be defined next to their
+installation site precisely so this stays checkable) and walks the
+body token by token.
+"""
+
+from .base import Rule, calls_of, in_dir, match_close
+
+# Identifiers a handler body may always mention: types, qualifiers,
+# literals, and the namespaces needed to spell them.
+_NEUTRAL_IDENTS = frozenset((
+    "int", "void", "bool", "true", "false", "const", "volatile",
+    "std", "sig_atomic_t", "static_cast", "memory_order_relaxed",
+    "memory_order_release", "memory_order_seq_cst", "memory_order",
+))
+# Member functions of lock-free atomics that are async-signal-safe.
+_ATOMIC_METHODS = frozenset((
+    "store", "load", "exchange", "test_and_set", "clear",
+    "fetch_add", "fetch_sub", "fetch_or", "fetch_and", "fetch_xor",
+))
+_INSTALL_FNS = frozenset(("signal", "sigaction"))
+_NOT_HANDLERS = frozenset(("SIG_IGN", "SIG_DFL", "SIG_ERR", "nullptr"))
+
+
+class SignalHandlerSafety(Rule):
+    rule_id = "signal-handler-safety"
+    summary = ("Signal handlers may only touch volatile sig_atomic_t "
+               "and lock-free atomics, and must be defined in the "
+               "file that installs them")
+
+    def applies(self, relpath):
+        return in_dir(relpath, "src")
+
+    def check(self, ctx):
+        toks = ctx.tokens
+        handlers = self._installed_handlers(toks)
+        if not handlers:
+            return []
+        safe = self._safe_variables(toks)
+        out = []
+        for name, install_line in handlers:
+            body = self._handler_body(toks, name)
+            if body is None:
+                out.append(
+                    (install_line,
+                     "signal handler '%s' is not defined in this "
+                     "file; define it next to the std::signal call "
+                     "so its body stays verifiable" % name))
+                continue
+            out.extend(self._check_body(name, body, safe))
+        return out
+
+    @staticmethod
+    def _installed_handlers(toks):
+        """(handler-name, line) for each std::signal(SIG..., name)."""
+        found = []
+        for fn in _INSTALL_FNS:
+            for i in calls_of(toks, fn):
+                close = match_close(toks, i + 1)
+                if close is None:
+                    continue
+                args = toks[i + 2:close]
+                # Handler = last top-level identifier argument.
+                depth = 0
+                last_arg_start = 0
+                for k, t in enumerate(args):
+                    if t.kind != "punct":
+                        continue
+                    if t.text in ("(", "[", "{"):
+                        depth += 1
+                    elif t.text in (")", "]", "}"):
+                        depth -= 1
+                    elif t.text == "," and depth == 0:
+                        last_arg_start = k + 1
+                handler = [t for t in args[last_arg_start:]
+                           if t.kind == "ident" and
+                           t.text not in _NEUTRAL_IDENTS]
+                if len(handler) == 1 and \
+                        handler[0].text not in _NOT_HANDLERS:
+                    found.append((handler[0].text, toks[i].line))
+        return found
+
+    @staticmethod
+    def _safe_variables(toks):
+        """Names declared volatile sig_atomic_t or std::atomic*."""
+        safe = set()
+        for i, t in enumerate(toks):
+            if t.kind != "ident":
+                continue
+            if t.text == "sig_atomic_t":
+                # Require a volatile qualifier nearby (the contract is
+                # `volatile std::sig_atomic_t name`).
+                window = [w.text for w in toks[max(0, i - 4):i]]
+                j = i + 1
+                if "volatile" in window and j < len(toks) and \
+                        toks[j].kind == "ident":
+                    safe.add(toks[j].text)
+            elif t.text in ("atomic", "atomic_flag", "atomic_bool",
+                            "atomic_int", "atomic_uint"):
+                j = i + 1
+                if j < len(toks) and toks[j].text == "<":
+                    close = match_close(toks, j, "<", ">")
+                    j = close + 1 if close is not None else None
+                if j is not None and j < len(toks) and \
+                        toks[j].kind == "ident":
+                    safe.add(toks[j].text)
+        return safe
+
+    @staticmethod
+    def _handler_body(toks, name):
+        """Tokens of the handler's function body, or None.
+
+        Matches `name ( ...params... ) { body }` — i.e. a definition,
+        not the installation call or a declaration.
+        """
+        for i in calls_of(toks, name):
+            close = match_close(toks, i + 1)
+            if close is None or close + 1 >= len(toks):
+                continue
+            if toks[close + 1].text != "{":
+                continue
+            end = match_close(toks, close + 1, "{", "}")
+            if end is None:
+                continue
+            params = {t.text for t in toks[i + 2:close]
+                      if t.kind == "ident"}
+            return params, toks[close + 2:end]
+        return None
+
+    @staticmethod
+    def _check_body(name, body, safe):
+        params, tokens = body
+        out = []
+        for k, t in enumerate(tokens):
+            if t.kind != "ident":
+                continue
+            is_call = k + 1 < len(tokens) and \
+                tokens[k + 1].kind == "punct" and \
+                tokens[k + 1].text == "("
+            prev = tokens[k - 1] if k > 0 else None
+            is_member = prev is not None and prev.kind == "punct" \
+                and prev.text in (".", "->")
+            if is_call:
+                if is_member and t.text in _ATOMIC_METHODS:
+                    continue
+                out.append(
+                    (t.line,
+                     "signal handler '%s' calls '%s()'; handlers may "
+                     "only assign volatile sig_atomic_t / lock-free "
+                     "atomics" % (name, t.text)))
+                continue
+            if t.text in _NEUTRAL_IDENTS or t.text in params or \
+                    t.text in safe or \
+                    (is_member and t.text in _ATOMIC_METHODS):
+                continue
+            out.append(
+                (t.line,
+                 "signal handler '%s' touches '%s', which is not a "
+                 "volatile sig_atomic_t or lock-free atomic declared "
+                 "in this file" % (name, t.text)))
+        return out
